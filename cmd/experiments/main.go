@@ -1,0 +1,120 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section at laptop scale:
+//
+//	experiments [-full] [-out DIR] [table1|table2|fig4|fig5|memory|ablation|all]
+//
+// Each experiment prints its result in the paper's layout and, when -out
+// is given, also writes a CSV. The default quick scale finishes in a few
+// minutes on one CPU; -full uses the configuration behind EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full-scale configuration (slower)")
+	out := flag.String("out", "", "directory for CSV outputs (optional)")
+	flag.Parse()
+
+	sc := experiments.QuickScale()
+	if *full {
+		sc = experiments.FullScale()
+	}
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+
+	writeCSV := func(name, csv string) {
+		if *out == "" {
+			return
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+	report := func(problems []string) {
+		if len(problems) == 0 {
+			fmt.Println("  shape check: OK")
+			return
+		}
+		for _, p := range problems {
+			fmt.Printf("  shape check: WARN %s\n", p)
+		}
+	}
+	timed := func(name string, fn func()) {
+		start := time.Now()
+		fmt.Printf("=== %s (scale %s) ===\n", name, sc.Name)
+		fn()
+		fmt.Printf("  [%.1fs]\n\n", time.Since(start).Seconds())
+	}
+
+	run := map[string]func(){
+		"memory": func() {
+			r := experiments.RunMemory()
+			fmt.Print(r.Format())
+			report(r.Check())
+		},
+		"table1": func() {
+			r := experiments.RunTable1(sc)
+			fmt.Print(r.Format())
+			report(r.Check())
+			writeCSV("table1.csv", r.CSV())
+		},
+		"table2": func() {
+			r := experiments.RunTable2(sc)
+			fmt.Print(r.Format())
+			writeCSV("table2.csv", r.CSV())
+		},
+		"fig4": func() {
+			r := experiments.RunFig4(sc)
+			fmt.Print(r.Format())
+			report(r.Check())
+			writeCSV("fig4.csv", r.CSV())
+		},
+		"fig5": func() {
+			r := experiments.RunFig5(sc)
+			fmt.Print(r.Format())
+			report(r.Check())
+			writeCSV("fig5.csv", r.CSV())
+		},
+		"ablation": func() {
+			classes, queries := 20, 5
+			if *full {
+				classes, queries = 40, 10
+			}
+			r := experiments.RunDimensionAblation(experiments.DefaultAblationDims(), classes, queries, 1)
+			fmt.Print(r.Format())
+			report(r.Check())
+			writeCSV("ablation.csv", r.CSV())
+		},
+	}
+
+	order := []string{"memory", "table1", "table2", "fig4", "fig5", "ablation"}
+	if which == "all" {
+		for _, name := range order {
+			timed(name, run[name])
+		}
+		return
+	}
+	fn, ok := run[which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want table1|table2|fig4|fig5|memory|ablation|all)\n", which)
+		os.Exit(2)
+	}
+	timed(which, fn)
+}

@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "Zero-shot
+// Classification using Hyperdimensional Computing" (Ruffino et al., DATE
+// 2024): the HDC-ZSC model, every substrate it depends on (tensor engine,
+// neural-network stack, HDC core, synthetic CUB-200 data), the compared
+// baselines, and a benchmark harness regenerating every table and figure
+// of the paper's evaluation. See README.md for a tour and DESIGN.md for
+// the system inventory and substitution rationale.
+package repro

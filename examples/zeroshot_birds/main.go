@@ -1,0 +1,64 @@
+// Zero-shot birds: the full three-phase HDC-ZSC methodology on a ZS
+// split, compared head-to-head against the ESZSL closed-form baseline on
+// identical data — the headline experiment of the paper in miniature.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+func main() {
+	cfg := dataset.DefaultConfig()
+	cfg.NumClasses = 20
+	cfg.ImagesPerClass = 12
+	cfg.Height, cfg.Width = 16, 16
+	cfg.AttrNoise = 0.25
+	d := dataset.Generate(cfg)
+	split := d.ZSSplit(rand.New(rand.NewSource(5)), 0.75)
+	pre := dataset.GenerateImageNet(8, 10, cfg.Height, cfg.Width, 99)
+	fmt.Printf("ZS split: %d seen classes for training, %d unseen for testing (disjoint)\n",
+		len(split.TrainClasses), len(split.TestClasses))
+
+	// --- HDC-ZSC: phases I → II → III. ---
+	pipe := core.PipelineConfig{
+		Backbone: nn.MicroResNet50Config(5).WithFlatten(cfg.Height, cfg.Width),
+		ProjDim:  256, Encoder: "HDC",
+		PhaseI: core.DefaultTrainConfig(), PhaseII: core.DefaultTrainConfig(),
+		PhaseIII: core.DefaultTrainConfig(), Seed: 5,
+	}
+	pipe.PhaseI.Epochs = 2
+	pipe.PhaseII.Epochs = 10
+	pipe.PhaseIII.Epochs = 10
+	fmt.Println("\ntraining HDC-ZSC (phase I: classification, II: attributes, III: ZSC)…")
+	_, ours := pipe.Run(d, split, pre)
+	fmt.Printf("  HDC-ZSC   top-1 %.1f%%  top-5 %.1f%%  params %d\n",
+		ours.Eval.Top1*100, ours.Eval.Top5*100, ours.ParamCount)
+
+	// --- ESZSL on the same pre-trained features. ---
+	fmt.Println("training ESZSL (closed-form bilinear compatibility) on phase-I features…")
+	img := core.NewImageEncoder(rand.New(rand.NewSource(5)), pipe.Backbone, 0)
+	core.PretrainClassification(img, pre, pipe.PhaseI)
+	ez, err := baselines.RunESZSL(img, d, split, 1, 1)
+	if err != nil {
+		fmt.Println("  eszsl:", err)
+		return
+	}
+	fmt.Printf("  ESZSL     top-1 %.1f%%  top-5 %.1f%%  params %d\n",
+		ez.Top1*100, ez.Top5*100, ez.ParamCount)
+
+	chance := 100 / float64(len(split.TestClasses))
+	fmt.Printf("\nchance level: %.1f%%\n", chance)
+	switch {
+	case ours.Eval.Top1 > ez.Top1:
+		fmt.Printf("→ HDC-ZSC beats ESZSL by %+.1f points with %.2f× the parameters — the Fig. 4 story\n",
+			(ours.Eval.Top1-ez.Top1)*100, float64(ours.ParamCount)/float64(ez.ParamCount))
+	default:
+		fmt.Println("→ ESZSL held its ground on this tiny run; the full-scale harness (cmd/experiments) reproduces the paper's ordering")
+	}
+}

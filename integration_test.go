@@ -1,0 +1,178 @@
+package repro
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/attrenc"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/hdc"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+)
+
+// Integration tests exercise cross-module flows a downstream user relies
+// on: the three-phase pipeline with checkpointing, the HDC/edge
+// equivalence, and the experiment plumbing end to end.
+
+func integData(t *testing.T) (*dataset.SynthCUB, dataset.Split) {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumClasses = 12
+	cfg.ImagesPerClass = 6
+	cfg.Height, cfg.Width = 12, 12
+	cfg.AttrNoise = 0.2
+	cfg.Seed = 42
+	d := dataset.Generate(cfg)
+	return d, d.ZSSplit(rand.New(rand.NewSource(43)), 2.0/3)
+}
+
+func integPipeline() core.PipelineConfig {
+	cfg := core.DefaultPipelineConfig()
+	cfg.Backbone = nn.MicroResNet50Config(4).WithFlatten(12, 12)
+	cfg.ProjDim = 96
+	cfg.Seed = 42
+	cfg.PhaseI.Epochs = 1
+	cfg.PhaseII.Epochs = 3
+	cfg.PhaseIII.Epochs = 3
+	return cfg
+}
+
+// TestCheckpointResumesPhaseIII trains phases I+II, saves the matured
+// image encoder, reloads it into a fresh model, fine-tunes phase III
+// there, and verifies the result matches training straight through —
+// the Fig. 2 → Fig. 3 deployment flow.
+func TestCheckpointResumesPhaseIII(t *testing.T) {
+	d, split := integData(t)
+	cfg := integPipeline()
+
+	modelA, encA := cfg.Build(d.Schema)
+	core.TrainAttributeExtraction(modelA.Image, modelA.Kernel, encA.Dictionary(), d, split, cfg.PhaseII)
+	path := filepath.Join(t.TempDir(), "phase2.ckpt")
+	// Checkpoint trainable parameters plus batch-norm running statistics
+	// (the Stateful buffers) — inference-mode features depend on both.
+	paramsA := append(modelA.Image.Params(), modelA.Kernel.Params()...)
+	paramsA = append(paramsA, nn.StateParams(modelA.Image.Backbone.State())...)
+	if err := nn.SaveParamsFile(path, paramsA); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+
+	modelB, _ := cfg.Build(d.Schema) // same seed → same names/shapes
+	paramsB := append(modelB.Image.Params(), modelB.Kernel.Params()...)
+	paramsB = append(paramsB, nn.StateParams(modelB.Image.Backbone.State())...)
+	if err := nn.LoadParamsFile(path, paramsB); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+
+	p3 := cfg.PhaseIII
+	core.TrainZSC(modelA, d, split, p3)
+	core.TrainZSC(modelB, d, split, p3)
+	resA := core.EvalZSC(modelA, d, split)
+	resB := core.EvalZSC(modelB, d, split)
+	if resA.Top1 != resB.Top1 {
+		t.Fatalf("checkpoint-resumed run diverged: %.4f vs %.4f", resA.Top1, resB.Top1)
+	}
+}
+
+// TestEdgePathAgreesWithFloatPath verifies the packed XOR/popcount
+// attribute dictionary is bit-identical to the float dictionary used in
+// training, across the whole α range.
+func TestEdgePathAgreesWithFloatPath(t *testing.T) {
+	schema := dataset.NewCUBSchema()
+	rng := rand.New(rand.NewSource(5))
+	enc := attrenc.NewHDCEncoder(rng, schema, 512)
+	for a := 0; a < schema.Alpha(); a++ {
+		packed := enc.AttrVector(a)
+		row := enc.Dictionary().Row(a)
+		for i, x := range packed.ToBipolar() {
+			if float32(x) != row[i] {
+				t.Fatalf("attr %d diverges between packed and float at %d", a, i)
+			}
+		}
+	}
+}
+
+// TestPrototypeClassifierTracksModelOnCleanData builds HDC class
+// prototypes from class attributes and checks the pure-HDC item-memory
+// classifier (no CNN at all) recovers class identity from noiseless
+// attribute bundles — the degenerate case that separates the HDC readout
+// from the vision problem.
+func TestPrototypeClassifierTracksModelOnCleanData(t *testing.T) {
+	d, _ := integData(t)
+	rng := rand.New(rand.NewSource(6))
+	enc := attrenc.NewHDCEncoder(rng, d.Schema, 2048)
+	im := hdc.NewItemMemory(2048)
+	for c := 0; c < d.Cfg.NumClasses; c++ {
+		im.Store(d.ClassNames[c], enc.ClassPrototype(rng, d.ClassAttr.Row(c)))
+	}
+	hits := 0
+	for c := 0; c < d.Cfg.NumClasses; c++ {
+		probe := enc.ClassPrototype(rand.New(rand.NewSource(int64(c))), d.ClassAttr.Row(c))
+		if _, idx, _ := im.Query(probe); idx == c {
+			hits++
+		}
+	}
+	if hits < d.Cfg.NumClasses-1 {
+		t.Fatalf("pure-HDC readout recovered only %d/%d classes", hits, d.Cfg.NumClasses)
+	}
+}
+
+// TestFullComparisonPipeline runs ours + ESZSL + one generative variant
+// on the same split and checks the metrics plumbing produces a coherent
+// Fig. 4-style point set.
+func TestFullComparisonPipeline(t *testing.T) {
+	d, split := integData(t)
+	cfg := integPipeline()
+	_, ours := cfg.Run(d, split, nil)
+
+	img := core.NewImageEncoder(rand.New(rand.NewSource(42)), cfg.Backbone, 0)
+	ez, err := baselines.RunESZSL(img, d, split, 1, 1)
+	if err != nil {
+		t.Fatalf("eszsl: %v", err)
+	}
+	gen := baselines.DefaultFeatGenConfig()
+	gen.GenEpochs, gen.ClsEpochs, gen.PerClass = 8, 8, 6
+	gen.HiddenGen, gen.HiddenCls = 48, 32
+	fg := baselines.RunFeatGen(img, d, split, gen)
+
+	pts := []metrics.Point{
+		{Name: "ours", Params: ours.ParamCount, Accuracy: ours.Eval.Top1},
+		{Name: "eszsl", Params: ez.ParamCount, Accuracy: ez.Top1},
+		{Name: "gen", Params: fg.ParamCount, Accuracy: fg.Top1},
+	}
+	front := metrics.ParetoFront(pts)
+	if len(front) == 0 || len(front) > 3 {
+		t.Fatalf("degenerate front: %v", front)
+	}
+}
+
+// TestQuickScaleEndToEnd is the scaled-down version of the committed
+// experiment pipeline: every runner at micro settings in one process, as
+// cmd/experiments would execute them.
+func TestQuickScaleEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runner sweep is slow")
+	}
+	sc := experiments.Scale{
+		Name: "quick", Classes: 8, PerClass: 4, ImgSize: 12, AttrNoise: 0.25,
+		Seeds: []int64{1}, Width: 3, ProjDim: 64,
+		PhaseIEpochs: 1, PhaseIIEpochs: 1, PhaseIIIEpochs: 1,
+		PretrainClasses: 3, PretrainPerClass: 4,
+	}
+	if r := experiments.RunTable1(sc); len(r.Rows) != 28 {
+		t.Fatal("table1 rows")
+	}
+	if r := experiments.RunTable2(sc); len(r.Rows) != 4 {
+		t.Fatal("table2 rows")
+	}
+	if r := experiments.RunFig5(sc); len(r.Sweeps) != 5 {
+		t.Fatal("fig5 panels")
+	}
+	if r := experiments.RunMemory(); len(r.Check()) != 0 {
+		t.Fatal("memory check")
+	}
+}

@@ -1,0 +1,210 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func tinyData(seed int64) (*dataset.SynthCUB, dataset.Split) {
+	cfg := dataset.DefaultConfig()
+	cfg.NumClasses = 12
+	cfg.ImagesPerClass = 6
+	cfg.Height, cfg.Width = 12, 12
+	cfg.AttrNoise = 0.15
+	cfg.Seed = seed
+	d := dataset.Generate(cfg)
+	rng := rand.New(rand.NewSource(seed + 99))
+	return d, d.ZSSplit(rng, 2.0/3)
+}
+
+func tinyBackbone() nn.ResNetConfig {
+	return nn.MicroResNet50Config(4).WithFlatten(12, 12)
+}
+
+func TestESZSLClosedFormRecoversPlantedBilinearMap(t *testing.T) {
+	// Synthetic sanity check with a known compatibility structure: class
+	// embeddings are attribute rows themselves, features are noisy class
+	// attribute vectors → identity-ish V should classify perfectly.
+	rng := rand.New(rand.NewSource(1))
+	cTr, alpha, n := 6, 10, 60
+	s := tensor.RandUniform(rng, 0, 1, cTr, alpha)
+	x := tensor.New(n, alpha)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = i % cTr
+		copy(x.Row(i), s.Row(labels[i]))
+		for j := 0; j < alpha; j++ {
+			x.Row(i)[j] += float32(rng.NormFloat64()) * 0.05
+		}
+	}
+	m := NewESZSL(0.1, 0.1)
+	if err := m.Fit(x, labels, s); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	scores := m.Scores(x, s)
+	if acc := metrics.Top1Accuracy(scores, labels); acc < 0.95 {
+		t.Fatalf("ESZSL failed the planted problem: %.3f", acc)
+	}
+	if m.ParamCount() != alpha*alpha {
+		t.Fatalf("ParamCount = %d, want %d", m.ParamCount(), alpha*alpha)
+	}
+}
+
+func TestESZSLGeneralizesToUnseenAttributeRows(t *testing.T) {
+	// Train on 6 classes; evaluate on 3 fresh attribute rows — the
+	// bilinear map should rank the matching row first.
+	rng := rand.New(rand.NewSource(2))
+	alpha := 12
+	sTr := tensor.RandUniform(rng, 0, 1, 6, alpha)
+	sTe := tensor.RandUniform(rng, 0, 1, 3, alpha)
+	var xs []float32
+	var labels []int
+	for i := 0; i < 90; i++ {
+		c := i % 6
+		labels = append(labels, c)
+		row := make([]float32, alpha)
+		copy(row, sTr.Row(c))
+		for j := range row {
+			row[j] += float32(rng.NormFloat64()) * 0.05
+		}
+		xs = append(xs, row...)
+	}
+	x := tensor.FromSlice(xs, 90, alpha)
+	m := NewESZSL(0.5, 0.5)
+	if err := m.Fit(x, labels, sTr); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	// Unseen "instances": noisy copies of the unseen attribute rows.
+	xe := tensor.New(30, alpha)
+	le := make([]int, 30)
+	for i := 0; i < 30; i++ {
+		le[i] = i % 3
+		copy(xe.Row(i), sTe.Row(le[i]))
+		for j := 0; j < alpha; j++ {
+			xe.Row(i)[j] += float32(rng.NormFloat64()) * 0.05
+		}
+	}
+	if acc := metrics.Top1Accuracy(m.Scores(xe, sTe), le); acc < 0.8 {
+		t.Fatalf("ESZSL zero-shot on planted problem: %.3f", acc)
+	}
+}
+
+func TestESZSLScoresBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scores before Fit did not panic")
+		}
+	}()
+	NewESZSL(1, 1).Scores(tensor.New(1, 2), tensor.New(1, 2))
+}
+
+func TestRunESZSLEndToEnd(t *testing.T) {
+	d, split := tinyData(3)
+	rng := rand.New(rand.NewSource(3))
+	img := core.NewImageEncoder(rng, tinyBackbone(), 0)
+	res, err := RunESZSL(img, d, split, 1, 1)
+	if err != nil {
+		t.Fatalf("RunESZSL: %v", err)
+	}
+	if res.Top1 < 0 || res.Top1 > 1 || res.Top5 < res.Top1 {
+		t.Fatalf("bad result %+v", res)
+	}
+	if res.ParamCount <= nn.CountParams(img.Params()) {
+		t.Fatal("param count must include the bilinear map")
+	}
+}
+
+func TestFinetagTrainsAndScores(t *testing.T) {
+	d, split := tinyData(4)
+	rng := rand.New(rand.NewSource(4))
+	f := NewFinetag(rng, tinyBackbone(), d.Schema.Alpha())
+	cfg := core.DefaultTrainConfig()
+	cfg.Epochs = 2
+	first := f.Train(d, split, cfg)
+	cfg.Epochs = 6
+	f2 := NewFinetag(rand.New(rand.NewSource(4)), tinyBackbone(), d.Schema.Alpha())
+	last := f2.Train(d, split, cfg)
+	if last >= first {
+		t.Fatalf("longer Finetag training did not reduce loss: %v → %v", first, last)
+	}
+	scores, targets := f2.Scores(d, split.Test[:4])
+	if scores.Dim(0) != 4 || scores.Dim(1) != d.Schema.Alpha() {
+		t.Fatalf("scores shape %v", scores.Shape())
+	}
+	if !targets.SameShape(scores) {
+		t.Fatal("targets shape mismatch")
+	}
+}
+
+func TestA3MTrainsAndScoresGroupwiseProbabilities(t *testing.T) {
+	d, split := tinyData(5)
+	rng := rand.New(rand.NewSource(5))
+	a := NewA3M(rng, nn.MicroResNet50Config(4), d.Schema)
+	cfg := core.DefaultTrainConfig()
+	cfg.Epochs = 2
+	a.Train(d, split, cfg)
+	scores, targets := a.Scores(d, split.Test[:3])
+	// Each group's scores must be a probability distribution.
+	for i := 0; i < 3; i++ {
+		for g := range d.Schema.Groups {
+			off := d.Schema.GroupAttrOffset[g]
+			size := len(d.Schema.Groups[g].Values)
+			var sum float32
+			for _, v := range scores.Row(i)[off : off+size] {
+				if v < 0 || v > 1 {
+					t.Fatalf("A3M group prob out of range: %v", v)
+				}
+				sum += v
+			}
+			if sum < 0.99 || sum > 1.01 {
+				t.Fatalf("A3M group probs sum to %v", sum)
+			}
+		}
+	}
+	_ = targets
+	// A3M must not use flatten pooling (that is the simplification).
+	if a.Image.Backbone.Config.FlattenPool {
+		t.Fatal("A3M backbone should use global average pooling")
+	}
+}
+
+func TestFeatGenRunsAndBeatsChanceOnPlantedFeatures(t *testing.T) {
+	d, split := tinyData(6)
+	rng := rand.New(rand.NewSource(6))
+	img := core.NewImageEncoder(rng, tinyBackbone(), 0)
+	cfg := DefaultFeatGenConfig()
+	cfg.GenEpochs, cfg.ClsEpochs, cfg.PerClass = 10, 10, 8
+	cfg.HiddenGen, cfg.HiddenCls = 64, 48
+	res := RunFeatGen(img, d, split, cfg)
+	if res.Top1 < 0 || res.Top1 > 1 {
+		t.Fatalf("bad top1 %v", res.Top1)
+	}
+	if res.ParamCount <= nn.CountParams(img.Params()) {
+		t.Fatal("FeatGen params must include generator and classifier")
+	}
+	if res.Name != cfg.Name {
+		t.Fatal("name not propagated")
+	}
+}
+
+func TestRunTCNEndToEnd(t *testing.T) {
+	d, split := tinyData(7)
+	cfg := TCNConfig{
+		Backbone:  tinyBackbone(),
+		EmbedDim:  48,
+		MLPHidden: 64,
+		Train:     core.DefaultTrainConfig(),
+		Seed:      7,
+	}
+	cfg.Train.Epochs = 3
+	res := RunTCN(d, split, cfg)
+	if res.Top1 < 0 || res.Top1 > 1 || res.ParamCount <= 0 {
+		t.Fatalf("bad TCN result %+v", res)
+	}
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attrenc"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestSimilarityKernelForwardValues(t *testing.T) {
+	k := NewSimilarityKernel(0.5)
+	x := tensor.FromSlice([]float32{1, 0, 0, 1}, 2, 2) // unit rows
+	p := tensor.FromSlice([]float32{2, 0}, 1, 2)       // parallel to row 0
+	logits := k.Forward(x, p)
+	// cos(row0, p) = 1 → logit 1/0.5 = 2 ; cos(row1, p) = 0 → 0.
+	if math.Abs(float64(logits.At(0, 0))-2) > 1e-5 || math.Abs(float64(logits.At(1, 0))) > 1e-5 {
+		t.Fatalf("kernel logits wrong: %v", logits.Data)
+	}
+}
+
+func TestSimilarityKernelGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 3, 6)
+	p := tensor.Randn(rng, 1, 4, 6)
+	k := NewSimilarityKernel(0.7)
+	cot := tensor.RandUniform(rng, -1, 1, 3, 4)
+
+	loss := func() float32 {
+		kk := NewSimilarityKernel(k.K.Value.Data[0])
+		out := kk.Forward(x, p)
+		var s float64
+		for i := range out.Data {
+			s += float64(out.Data[i]) * float64(cot.Data[i])
+		}
+		return float32(s)
+	}
+
+	k.Forward(x, p)
+	dx, dp := k.Backward(cot)
+
+	check := func(name string, tens *tensor.Tensor, analytic *tensor.Tensor) {
+		for trial := 0; trial < 10; trial++ {
+			i := rng.Intn(tens.Len())
+			orig := tens.Data[i]
+			const eps = 1e-2
+			tens.Data[i] = orig + eps
+			up := loss()
+			tens.Data[i] = orig - eps
+			down := loss()
+			tens.Data[i] = orig
+			want := (up - down) / (2 * eps)
+			if math.Abs(float64(analytic.Data[i]-want)) > 0.02*math.Max(1, math.Abs(float64(want))) {
+				t.Errorf("%s grad[%d] = %v, numeric %v", name, i, analytic.Data[i], want)
+			}
+		}
+	}
+	check("x", x, dx)
+	check("p", p, dp)
+
+	// Temperature gradient.
+	orig := k.K.Value.Data[0]
+	const eps = 1e-3
+	k.K.Value.Data[0] = orig + eps
+	up := loss()
+	k.K.Value.Data[0] = orig - eps
+	down := loss()
+	k.K.Value.Data[0] = orig
+	want := (up - down) / (2 * eps)
+	if math.Abs(float64(k.K.Grad.Data[0]-want)) > 0.02*math.Max(1, math.Abs(float64(want))) {
+		t.Fatalf("dK = %v, numeric %v", k.K.Grad.Data[0], want)
+	}
+}
+
+func TestSimilarityKernelZeroRowSafe(t *testing.T) {
+	k := NewSimilarityKernel(1)
+	x := tensor.New(2, 4) // row 0 all zeros
+	x.Set(1, 1, 0)
+	p := tensor.Ones(3, 4)
+	logits := k.Forward(x, p)
+	if logits.HasNaN() {
+		t.Fatal("zero-norm embedding produced NaN logits")
+	}
+	dx, dp := k.Backward(tensor.Ones(2, 3))
+	if dx.HasNaN() || dp.HasNaN() {
+		t.Fatal("zero-norm embedding produced NaN gradients")
+	}
+}
+
+func TestClampTemperature(t *testing.T) {
+	k := NewSimilarityKernel(1)
+	k.K.Value.Data[0] = -5
+	k.ClampTemperature(0.01, 10)
+	if k.Temperature() != 0.01 {
+		t.Fatalf("clamp low failed: %v", k.Temperature())
+	}
+	k.K.Value.Data[0] = float32(math.NaN())
+	k.ClampTemperature(0.01, 10)
+	if k.Temperature() != 0.01 {
+		t.Fatalf("NaN clamp failed: %v", k.Temperature())
+	}
+}
+
+func TestImageEncoderShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	enc := NewImageEncoder(rng, nn.MicroResNet50Config(4), 32)
+	if enc.OutDim() != 32 {
+		t.Fatalf("OutDim = %d, want 32 (projection)", enc.OutDim())
+	}
+	x := tensor.Randn(rng, 1, 2, 3, 16, 16)
+	y := enc.Forward(x, false)
+	if y.Dim(0) != 2 || y.Dim(1) != 32 {
+		t.Fatalf("encoder output %v", y.Shape())
+	}
+	// Without projection, d = backbone d′.
+	enc2 := NewImageEncoder(rng, nn.MicroResNet50Config(4), 0)
+	if enc2.OutDim() != 4*8*4 {
+		t.Fatalf("no-proj OutDim = %d", enc2.OutDim())
+	}
+}
+
+func TestFreezeBackboneKeepsProjTrainable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	enc := NewImageEncoder(rng, nn.MicroResNet50Config(4), 16)
+	enc.FreezeBackbone()
+	for _, p := range enc.Backbone.Params() {
+		if !p.Frozen {
+			t.Fatal("backbone param not frozen")
+		}
+	}
+	for _, p := range enc.Proj.Params() {
+		if p.Frozen {
+			t.Fatal("projection frozen by FreezeBackbone")
+		}
+	}
+	enc.UnfreezeBackbone()
+	if enc.Backbone.Params()[0].Frozen {
+		t.Fatal("unfreeze failed")
+	}
+}
+
+func TestModelDimensionMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	img := NewImageEncoder(rng, nn.MicroResNet50Config(4), 16)
+	schema := dataset.NewCUBSchema()
+	enc := attrenc.NewHDCEncoder(rng, schema, 32) // wrong d
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewModel accepted mismatched dimensions")
+		}
+	}()
+	NewModel(img, enc, NewSimilarityKernel(1))
+}
+
+// tinyData builds a small dataset whose attribute structure is easy to
+// learn, for end-to-end trainer tests.
+func tinyData(seed int64) (*dataset.SynthCUB, dataset.Split) {
+	cfg := dataset.DefaultConfig()
+	cfg.NumClasses = 12
+	cfg.ImagesPerClass = 6
+	cfg.Height, cfg.Width = 12, 12
+	cfg.AttrNoise = 0.02
+	cfg.PixelNoise = 0.02
+	cfg.Seed = seed
+	d := dataset.Generate(cfg)
+	rng := rand.New(rand.NewSource(seed + 50))
+	return d, d.ZSSplit(rng, 2.0/3)
+}
+
+func tinyPipeline(seed int64) PipelineConfig {
+	cfg := DefaultPipelineConfig()
+	cfg.Backbone = nn.MicroResNet50Config(4)
+	cfg.Backbone.Name = "ResNet50"
+	cfg.ProjDim = 48
+	cfg.MLPHidden = 32
+	cfg.Seed = seed
+	cfg.PhaseI.Epochs = 2
+	cfg.PhaseII.Epochs = 4
+	cfg.PhaseIII.Epochs = 4
+	return cfg
+}
+
+func TestPipelineBeatsChanceOnUnseenClasses(t *testing.T) {
+	d, split := tinyData(7)
+	cfg := tinyPipeline(7)
+	_, res := cfg.Run(d, split, nil)
+	chance := 1.0 / float64(len(split.TestClasses))
+	if res.Eval.Top1 <= chance {
+		t.Fatalf("zero-shot top-1 %.3f not above chance %.3f", res.Eval.Top1, chance)
+	}
+	if res.Eval.Top5 < res.Eval.Top1 {
+		t.Fatalf("top-5 (%v) below top-1 (%v)", res.Eval.Top5, res.Eval.Top1)
+	}
+	if res.ParamCount <= 0 {
+		t.Fatal("param count not reported")
+	}
+}
+
+func TestPipelineDeterministicUnderSeed(t *testing.T) {
+	d, split := tinyData(8)
+	cfg := tinyPipeline(8)
+	cfg.PhaseII.Epochs, cfg.PhaseIII.Epochs = 1, 1
+	_, a := cfg.Run(d, split, nil)
+	_, b := cfg.Run(d, split, nil)
+	if a.Eval.Top1 != b.Eval.Top1 || a.PhaseIIILoss != b.PhaseIIILoss {
+		t.Fatalf("pipeline not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestMLPEncoderVariantRuns(t *testing.T) {
+	d, split := tinyData(9)
+	cfg := tinyPipeline(9)
+	cfg.Encoder = "MLP"
+	model, res := cfg.Run(d, split, nil)
+	if model.Attr.Name() != "MLP" {
+		t.Fatal("MLP encoder not selected")
+	}
+	if len(model.Attr.Params()) == 0 {
+		t.Fatal("MLP encoder reports no trainable params")
+	}
+	if res.Eval.Top1 < 0 || res.Eval.Top1 > 1 {
+		t.Fatalf("bad accuracy %v", res.Eval.Top1)
+	}
+	// The MLP variant must cost more parameters than the HDC variant —
+	// the core of the paper's efficiency claim.
+	cfgHDC := tinyPipeline(9)
+	hdcModel, _ := cfgHDC.Build(d.Schema)
+	if model.ParamCount() <= hdcModel.ParamCount() {
+		t.Fatalf("MLP model (%d params) not larger than HDC model (%d)",
+			model.ParamCount(), hdcModel.ParamCount())
+	}
+}
+
+func TestHDCEncoderContributesZeroParams(t *testing.T) {
+	d, _ := tinyData(10)
+	cfg := tinyPipeline(10)
+	model, _ := cfg.Build(d.Schema)
+	for _, p := range model.Attr.Params() {
+		t.Fatalf("HDC encoder has unexpected trainable param %s", p.Name)
+	}
+	_ = model
+}
+
+func TestPhaseIIIFreezesBackbone(t *testing.T) {
+	d, split := tinyData(11)
+	cfg := tinyPipeline(11)
+	model, hdcEnc := cfg.Build(d.Schema)
+	_ = hdcEnc
+	before := model.Image.Backbone.Params()[0].Value.Clone()
+	cfg3 := cfg.PhaseIII
+	cfg3.Epochs = 2
+	TrainZSC(model, d, split, cfg3)
+	after := model.Image.Backbone.Params()[0].Value
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatal("backbone changed during phase III")
+		}
+	}
+	// And it must be unfrozen again afterwards.
+	if model.Image.Backbone.Params()[0].Frozen {
+		t.Fatal("backbone left frozen after TrainZSC")
+	}
+}
+
+func TestTrainAttributeExtractionReducesLoss(t *testing.T) {
+	d, split := tinyData(12)
+	cfg := tinyPipeline(12)
+	model, hdcEnc := cfg.Build(d.Schema)
+	short := cfg.PhaseII
+	short.Epochs = 1
+	first := TrainAttributeExtraction(model.Image, model.Kernel, hdcEnc.Dictionary(), d, split, short)
+	longer := cfg.PhaseII
+	longer.Epochs = 5
+	model2, hdcEnc2 := cfg.Build(d.Schema)
+	last := TrainAttributeExtraction(model2.Image, model2.Kernel, hdcEnc2.Dictionary(), d, split, longer)
+	if last >= first {
+		t.Fatalf("more phase-II training did not reduce loss: %v → %v", first, last)
+	}
+}
+
+func TestAttributeScoresShapes(t *testing.T) {
+	d, split := tinyData(13)
+	cfg := tinyPipeline(13)
+	model, hdcEnc := cfg.Build(d.Schema)
+	scores, targets := AttributeScores(model.Image, model.Kernel, hdcEnc.Dictionary(), d, split.Test[:5])
+	if scores.Dim(0) != 5 || scores.Dim(1) != d.Schema.Alpha() {
+		t.Fatalf("scores shape %v", scores.Shape())
+	}
+	if !targets.SameShape(scores) {
+		t.Fatal("targets shape mismatch")
+	}
+	// Targets must be the instances' binary attributes.
+	var ones int
+	for _, v := range targets.Data {
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones != 5*d.Schema.NumGroups() {
+		t.Fatalf("targets have %d active attrs, want %d", ones, 5*d.Schema.NumGroups())
+	}
+}
+
+func TestPretrainClassificationLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	img := NewImageEncoder(rng, nn.MicroResNet50Config(4), 32)
+	data := dataset.GenerateImageNet(4, 8, 12, 12, 3)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 5
+	acc := PretrainClassification(img, data, cfg)
+	if acc <= 0.3 { // chance = 0.25
+		t.Fatalf("phase I accuracy %.3f not above chance", acc)
+	}
+}
+
+func TestRunSeedsAggregates(t *testing.T) {
+	mean, std := RunSeeds([]int64{1, 2, 3}, func(s int64) float64 { return float64(s) })
+	if mean != 2 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(std-1) > 1e-9 {
+		t.Fatalf("std = %v", std)
+	}
+}
+
+func TestFormatMuSigma(t *testing.T) {
+	if got := FormatMuSigma(0.638, 0.012); got != "63.8 ± 1.2" {
+		t.Fatalf("FormatMuSigma = %q", got)
+	}
+}
+
+func TestEvalGZSLHarmonic(t *testing.T) {
+	d, split := tinyData(20)
+	cfg := tinyPipeline(20)
+	cfg.PhaseII.Epochs, cfg.PhaseIII.Epochs = 2, 2
+	model, _ := cfg.Run(d, split, nil)
+	res := EvalGZSL(model, d, split, split.Train)
+	if res.SeenAcc < 0 || res.SeenAcc > 1 || res.UnseenAcc < 0 || res.UnseenAcc > 1 {
+		t.Fatalf("GZSL accuracies out of range: %+v", res)
+	}
+	if res.Harmonic > res.SeenAcc+res.UnseenAcc {
+		t.Fatalf("harmonic mean exceeds components: %+v", res)
+	}
+	// Harmonic mean formula.
+	if res.SeenAcc > 0 && res.UnseenAcc > 0 {
+		want := 2 * res.SeenAcc * res.UnseenAcc / (res.SeenAcc + res.UnseenAcc)
+		if math.Abs(res.Harmonic-want) > 1e-12 {
+			t.Fatalf("harmonic = %v, want %v", res.Harmonic, want)
+		}
+	}
+}
+
+func TestEvalGZSLWithoutSeenHoldout(t *testing.T) {
+	d, split := tinyData(21)
+	cfg := tinyPipeline(21)
+	model, _ := cfg.Build(d.Schema)
+	res := EvalGZSL(model, d, split, nil)
+	if res.SeenAcc != 0 {
+		t.Fatal("seen accuracy should be 0 without a holdout")
+	}
+	if res.Harmonic != 0 {
+		t.Fatal("harmonic must be 0 when one side is missing")
+	}
+}

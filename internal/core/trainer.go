@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TrainConfig carries the hyperparameters the paper tunes in Fig. 5:
+// epochs, batch size, learning rate, temperature scale, and weight decay,
+// plus the reproduction's practical knobs.
+type TrainConfig struct {
+	Epochs      int
+	Batch       int
+	LR          float32
+	LRMin       float32 // cosine-annealing floor
+	WeightDecay float32
+	// TempScale is the initial similarity-kernel temperature K.
+	TempScale float32
+	// ClipNorm bounds the global gradient norm (0 disables).
+	ClipNorm float32
+	// Augment enables the paper's rotation/crop/flip pipeline.
+	Augment bool
+	// MaxPosWeight caps the weighted-BCE positive weights (phase II).
+	MaxPosWeight float32
+	// Seed drives batch order, augmentation, and any stochastic layers.
+	Seed int64
+}
+
+// DefaultTrainConfig returns the hyperparameter set used by the
+// experiment harness (the laptop-scale analogue of the paper's best
+// configuration: ≈10 epochs, small batch, AdamW defaults).
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs: 8, Batch: 8, LR: 3e-3, LRMin: 1e-5,
+		WeightDecay: 1e-4, TempScale: 0.05, ClipNorm: 5,
+		Augment: false, MaxPosWeight: 20, Seed: 1,
+	}
+}
+
+// PretrainClassification is phase I (Fig. 2a): supervised classification
+// pre-training of the backbone through a temporary FC′ softmax head,
+// playing the role of ImageNet1K pre-training. The head is discarded;
+// the matured backbone weights are retained. Returns the final-epoch
+// training accuracy.
+func PretrainClassification(img *ImageEncoder, data *dataset.SynthImageNet, cfg TrainConfig) float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	head := nn.NewLinear(rng, "fcprime", img.Backbone.OutDim(), data.NumClasses, true)
+	params := append(append([]*nn.Param{}, img.Backbone.Params()...), head.Params()...)
+	opt := nn.NewAdamW(cfg.LR, cfg.WeightDecay)
+	steps := cfg.Epochs * ((data.Len() + cfg.Batch - 1) / cfg.Batch)
+	sched := nn.NewCosineAnnealingLR(cfg.LR, cfg.LRMin, maxInt(steps, 1))
+
+	order := rng.Perm(data.Len())
+	step := 0
+	var lastAcc float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var hits, total int
+		for at := 0; at < len(order); at += cfg.Batch {
+			end := minInt(at+cfg.Batch, len(order))
+			images, labels := data.Batch(order[at:end])
+			nn.ZeroGrads(params)
+			emb := img.Backbone.Forward(images, true)
+			logits := head.Forward(emb, true)
+			_, dlogits := nn.SoftmaxCrossEntropy(logits, labels)
+			img.Backbone.Backward(head.Backward(dlogits))
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(params, cfg.ClipNorm)
+			}
+			sched.Apply(opt, step)
+			opt.Step(params)
+			step++
+			for i, p := range tensor.ArgMax(logits) {
+				if p == labels[i] {
+					hits++
+				}
+			}
+			total += len(labels)
+		}
+		lastAcc = float64(hits) / float64(total)
+	}
+	return lastAcc
+}
+
+// TrainAttributeExtraction is phase II (Fig. 2b): the image encoder
+// (backbone + FC) learns to score the α attribute codevectors of the HDC
+// dictionary B so that cosine similarities match the instance's
+// ground-truth attributes, under a weighted binary cross-entropy that
+// compensates the inactive-attribute imbalance. The attribute dictionary
+// stays fixed. Returns the final-epoch training loss.
+func TrainAttributeExtraction(img *ImageEncoder, kernel *SimilarityKernel, dict *tensor.Tensor,
+	d *dataset.SynthCUB, split dataset.Split, cfg TrainConfig) float32 {
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var aug *dataset.Augmentor
+	if cfg.Augment {
+		a := dataset.DefaultAugmentor()
+		aug = &a
+	}
+	it := dataset.NewBatchIterator(d, split.Train, split.TrainClasses, cfg.Batch, aug, rng)
+
+	// Positive weights from the training targets (#neg/#pos per attribute).
+	all := d.MakeBatch(split.Train, dataset.ClassIndexMap(split.TrainClasses), nil, nil)
+	posW := nn.PosWeights(all.Attrs, cfg.MaxPosWeight)
+
+	params := append(append([]*nn.Param{}, img.Params()...), kernel.Params()...)
+	opt := nn.NewAdamW(cfg.LR, cfg.WeightDecay)
+	perEpoch := it.BatchesPerEpoch()
+	sched := nn.NewCosineAnnealingLR(cfg.LR, cfg.LRMin, maxInt(cfg.Epochs*perEpoch, 1))
+
+	var last float32
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var sum float64
+		for b := 0; b < perEpoch; b++ {
+			batch := it.Next()
+			nn.ZeroGrads(params)
+			emb := img.Forward(batch.Images, true)
+			q := kernel.Forward(emb, dict)
+			loss, dq := nn.BCEWithLogits(q, batch.Attrs, posW)
+			dx, _ := kernel.Backward(dq) // dictionary is stationary
+			img.Backward(dx)
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(params, cfg.ClipNorm)
+			}
+			sched.Apply(opt, step)
+			opt.Step(params)
+			kernel.ClampTemperature(1e-3, 100)
+			step++
+			sum += float64(loss)
+		}
+		last = float32(sum / float64(perEpoch))
+	}
+	return last
+}
+
+// TrainZSC is phase III (Fig. 2c): the FC projection (and the attribute
+// encoder, when trainable) fine-tunes so image embeddings align with the
+// attribute embeddings of the *training* classes under cross-entropy over
+// the similarity logits, while the matured backbone remains stationary.
+//
+// With a projection layer present, the frozen backbone's features are
+// computed once in inference mode and cached, and the epochs train only
+// the projection/kernel on the cache — mathematically the stationary-
+// backbone training of Fig. 2c at a fraction of the cost. Without a
+// projection layer there is nothing else to train, so the backbone itself
+// fine-tunes end-to-end (the "pre-train I,III" rows of Table II).
+// Returns the final-epoch training loss.
+func TrainZSC(m *Model, d *dataset.SynthCUB, split dataset.Split, cfg TrainConfig) float32 {
+	if m.Image.Proj != nil {
+		return trainZSCCached(m, d, split, cfg)
+	}
+	return trainZSCEndToEnd(m, d, split, cfg)
+}
+
+// trainZSCEndToEnd trains all image-encoder parameters (used when no
+// projection FC exists).
+func trainZSCEndToEnd(m *Model, d *dataset.SynthCUB, split dataset.Split, cfg TrainConfig) float32 {
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	var aug *dataset.Augmentor
+	if cfg.Augment {
+		a := dataset.DefaultAugmentor()
+		aug = &a
+	}
+	it := dataset.NewBatchIterator(d, split.Train, split.TrainClasses, cfg.Batch, aug, rng)
+	trainAttr := d.ClassAttrRows(split.TrainClasses)
+
+	params := m.Params()
+	opt := nn.NewAdamW(cfg.LR, cfg.WeightDecay)
+	perEpoch := it.BatchesPerEpoch()
+	sched := nn.NewCosineAnnealingLR(cfg.LR, cfg.LRMin, maxInt(cfg.Epochs*perEpoch, 1))
+
+	var last float32
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var sum float64
+		for b := 0; b < perEpoch; b++ {
+			batch := it.Next()
+			nn.ZeroGrads(params)
+			logits := m.Logits(batch.Images, trainAttr, true)
+			loss, dlogits := nn.SoftmaxCrossEntropy(logits, batch.Labels)
+			m.Backward(dlogits)
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(params, cfg.ClipNorm)
+			}
+			sched.Apply(opt, step)
+			opt.Step(params)
+			m.Kernel.ClampTemperature(1e-3, 100)
+			step++
+			sum += float64(loss)
+		}
+		last = float32(sum / float64(perEpoch))
+	}
+	return last
+}
+
+// trainZSCCached freezes the backbone, caches its inference-mode features
+// for the training instances, and trains the projection, kernel, and any
+// trainable attribute encoder over the cache.
+func trainZSCCached(m *Model, d *dataset.SynthCUB, split dataset.Split, cfg TrainConfig) float32 {
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	m.Image.FreezeBackbone()
+	defer m.Image.UnfreezeBackbone()
+
+	labelOf := dataset.ClassIndexMap(split.TrainClasses)
+	n := len(split.Train)
+	var feats *tensor.Tensor
+	labels := make([]int, n)
+	const encBatch = 32
+	for at := 0; at < n; at += encBatch {
+		end := minInt(at+encBatch, n)
+		batch := d.MakeBatch(split.Train[at:end], labelOf, nil, nil)
+		emb := m.Image.Backbone.Forward(batch.Images, false)
+		if feats == nil {
+			feats = tensor.New(n, emb.Dim(1))
+		}
+		for i := 0; i < end-at; i++ {
+			copy(feats.Row(at+i), emb.Row(i))
+			labels[at+i] = batch.Labels[i]
+		}
+	}
+
+	trainAttr := d.ClassAttrRows(split.TrainClasses)
+	params := append(append([]*nn.Param{}, m.Image.Proj.Params()...), m.Attr.Params()...)
+	params = append(params, m.Kernel.Params()...)
+	opt := nn.NewAdamW(cfg.LR, cfg.WeightDecay)
+	perEpoch := (n + cfg.Batch - 1) / cfg.Batch
+	sched := nn.NewCosineAnnealingLR(cfg.LR, cfg.LRMin, maxInt(cfg.Epochs*perEpoch, 1))
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	var last float32
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sum float64
+		for at := 0; at < n; at += cfg.Batch {
+			end := minInt(at+cfg.Batch, n)
+			bf := tensor.New(end-at, feats.Dim(1))
+			bl := make([]int, end-at)
+			for i := at; i < end; i++ {
+				copy(bf.Row(i-at), feats.Row(order[i]))
+				bl[i-at] = labels[order[i]]
+			}
+			nn.ZeroGrads(params)
+			emb := m.Image.Proj.Forward(bf, true)
+			phi := m.Attr.Encode(trainAttr, true)
+			logits := m.Kernel.Forward(emb, phi)
+			loss, dlogits := nn.SoftmaxCrossEntropy(logits, bl)
+			dx, dp := m.Kernel.Backward(dlogits)
+			m.Image.Proj.Backward(dx)
+			m.Attr.Backward(dp)
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(params, cfg.ClipNorm)
+			}
+			sched.Apply(opt, step)
+			opt.Step(params)
+			m.Kernel.ClampTemperature(1e-3, 100)
+			step++
+			sum += float64(loss)
+		}
+		last = float32(sum / float64(perEpoch))
+	}
+	return last
+}
+
+// ZSCResult holds the zero-shot evaluation metrics of §IV-A-b.
+type ZSCResult struct {
+	Top1, Top5 float64
+}
+
+// EvalZSC evaluates the model on the split's *unseen* test classes:
+// logits against the test-class attribute matrix, top-1/top-5 accuracy
+// against test labels. All weights stationary (Fig. 3).
+func EvalZSC(m *Model, d *dataset.SynthCUB, split dataset.Split) ZSCResult {
+	labelOf := dataset.ClassIndexMap(split.TestClasses)
+	testAttr := d.ClassAttrRows(split.TestClasses)
+	batchSize := 32
+	nClasses := len(split.TestClasses)
+	scores := tensor.New(len(split.Test), nClasses)
+	labels := make([]int, len(split.Test))
+	for at := 0; at < len(split.Test); at += batchSize {
+		end := minInt(at+batchSize, len(split.Test))
+		batch := d.MakeBatch(split.Test[at:end], labelOf, nil, nil)
+		logits := m.Logits(batch.Images, testAttr, false)
+		for i := 0; i < end-at; i++ {
+			copy(scores.Row(at+i), logits.Row(i))
+			labels[at+i] = batch.Labels[i]
+		}
+	}
+	res := ZSCResult{Top1: metrics.Top1Accuracy(scores, labels)}
+	k := 5
+	if nClasses < k {
+		k = nClasses
+	}
+	res.Top5 = metrics.TopKAccuracy(scores, labels, k)
+	return res
+}
+
+// AttributeScores runs the image encoder over the given instances and
+// returns the [N, α] similarity scores against the attribute dictionary
+// together with the [N, α] ground-truth targets — the inputs to WMAP and
+// per-group top-1 metrics (Table I).
+func AttributeScores(img *ImageEncoder, kernel *SimilarityKernel, dict *tensor.Tensor,
+	d *dataset.SynthCUB, instanceIdx []int) (scores, targets *tensor.Tensor) {
+
+	alpha := dict.Dim(0)
+	scores = tensor.New(len(instanceIdx), alpha)
+	targets = tensor.New(len(instanceIdx), alpha)
+	// Any-class label map: attribute evaluation is label-space free.
+	labelOf := map[int]int{}
+	for _, i := range instanceIdx {
+		labelOf[d.Instances[i].Class] = 0
+	}
+	batchSize := 32
+	for at := 0; at < len(instanceIdx); at += batchSize {
+		end := minInt(at+batchSize, len(instanceIdx))
+		batch := d.MakeBatch(instanceIdx[at:end], labelOf, nil, nil)
+		emb := img.Forward(batch.Images, false)
+		q := kernel.Forward(emb, dict)
+		for i := 0; i < end-at; i++ {
+			copy(scores.Row(at+i), q.Row(i))
+			copy(targets.Row(at+i), batch.Attrs.Row(i))
+		}
+	}
+	return scores, targets
+}
+
+// RunSeeds repeats fn for each seed and aggregates the returned metric
+// into the paper's µ±σ format.
+func RunSeeds(seeds []int64, fn func(seed int64) float64) (mean, std float64) {
+	if len(seeds) == 0 {
+		panic("core.RunSeeds: no seeds")
+	}
+	vals := make([]float64, len(seeds))
+	for i, s := range seeds {
+		vals[i] = fn(s)
+	}
+	return metrics.MeanStd(vals)
+}
+
+// FormatMuSigma renders a µ±σ pair the way the paper reports results.
+func FormatMuSigma(mean, std float64) string {
+	return fmt.Sprintf("%.1f ± %.1f", mean*100, std*100)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

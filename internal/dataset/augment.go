@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Augmentor applies the paper's training-time augmentation pipeline
+// (§IV-A-c): random rotation in [−MaxRotate, +MaxRotate] degrees, center
+// crop of CropFrac of the image followed by resize back, and random
+// horizontal flip. All operations use nearest-neighbour sampling, which
+// is adequate at the reproduction's image sizes.
+type Augmentor struct {
+	MaxRotate float64 // degrees; the paper uses 45
+	CropFrac  float64 // fraction of the side kept by the center crop
+	FlipProb  float64 // probability of horizontal flip
+}
+
+// DefaultAugmentor returns the paper's augmentation settings.
+func DefaultAugmentor() Augmentor {
+	return Augmentor{MaxRotate: 45, CropFrac: 0.875, FlipProb: 0.5}
+}
+
+// Apply returns an augmented copy of img ([3, H, W]).
+func (a Augmentor) Apply(rng *rand.Rand, img *tensor.Tensor) *tensor.Tensor {
+	out := img
+	if a.MaxRotate > 0 {
+		deg := (rng.Float64()*2 - 1) * a.MaxRotate
+		out = Rotate(out, deg)
+	}
+	if a.CropFrac > 0 && a.CropFrac < 1 {
+		out = CenterCropResize(out, a.CropFrac)
+	}
+	if rng.Float64() < a.FlipProb {
+		out = HFlip(out)
+	}
+	return out
+}
+
+// Rotate rotates img ([3, H, W]) by deg degrees about its center with
+// nearest-neighbour sampling; out-of-bounds samples clamp to the edge.
+func Rotate(img *tensor.Tensor, deg float64) *tensor.Tensor {
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	out := tensor.New(c, h, w)
+	rad := deg * math.Pi / 180
+	sin, cos := math.Sin(rad), math.Cos(rad)
+	cy, cx := float64(h-1)/2, float64(w-1)/2
+	plane := h * w
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Inverse mapping: rotate the destination coordinate back.
+			dy, dx := float64(y)-cy, float64(x)-cx
+			sy := cy + dy*cos - dx*sin
+			sx := cx + dy*sin + dx*cos
+			iy := clampInt(int(math.Round(sy)), 0, h-1)
+			ix := clampInt(int(math.Round(sx)), 0, w-1)
+			for ch := 0; ch < c; ch++ {
+				out.Data[ch*plane+y*w+x] = img.Data[ch*plane+iy*w+ix]
+			}
+		}
+	}
+	return out
+}
+
+// CenterCropResize crops the central frac of each side and resizes back
+// to the original size with nearest-neighbour sampling.
+func CenterCropResize(img *tensor.Tensor, frac float64) *tensor.Tensor {
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	ch2 := int(float64(h) * frac)
+	cw2 := int(float64(w) * frac)
+	if ch2 < 1 {
+		ch2 = 1
+	}
+	if cw2 < 1 {
+		cw2 = 1
+	}
+	y0 := (h - ch2) / 2
+	x0 := (w - cw2) / 2
+	out := tensor.New(c, h, w)
+	plane := h * w
+	for y := 0; y < h; y++ {
+		sy := y0 + y*ch2/h
+		for x := 0; x < w; x++ {
+			sx := x0 + x*cw2/w
+			for chn := 0; chn < c; chn++ {
+				out.Data[chn*plane+y*w+x] = img.Data[chn*plane+sy*w+sx]
+			}
+		}
+	}
+	return out
+}
+
+// HFlip mirrors img horizontally.
+func HFlip(img *tensor.Tensor) *tensor.Tensor {
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	out := tensor.New(c, h, w)
+	plane := h * w
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			row := ch*plane + y*w
+			for x := 0; x < w; x++ {
+				out.Data[row+x] = img.Data[row+w-1-x]
+			}
+		}
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Batch is one training or evaluation minibatch.
+type Batch struct {
+	// Images is [B, 3, H, W].
+	Images *tensor.Tensor
+	// Labels holds per-sample class indices *within the split's class
+	// list* (not raw dataset class ids), ready for cross-entropy.
+	Labels []int
+	// Attrs is [B, α]: the instance-level binary attribute targets for
+	// the attribute-extraction task.
+	Attrs *tensor.Tensor
+}
+
+// BatchIterator yields shuffled minibatches over a set of instance
+// indices, optionally applying augmentation.
+type BatchIterator struct {
+	d        *SynthCUB
+	indices  []int
+	labelOf  map[int]int
+	batch    int
+	rng      *rand.Rand
+	aug      *Augmentor
+	pos      int
+	epochIdx []int
+}
+
+// NewBatchIterator builds an iterator over instanceIdx with the given
+// batch size. classList defines the label space (position in classList =
+// training label). aug may be nil for evaluation. rng drives shuffling
+// and augmentation.
+func NewBatchIterator(d *SynthCUB, instanceIdx []int, classList []int, batch int, aug *Augmentor, rng *rand.Rand) *BatchIterator {
+	if batch <= 0 {
+		panic("dataset.NewBatchIterator: batch must be positive")
+	}
+	if len(instanceIdx) == 0 {
+		panic("dataset.NewBatchIterator: empty instance set")
+	}
+	it := &BatchIterator{
+		d: d, indices: instanceIdx, labelOf: ClassIndexMap(classList),
+		batch: batch, rng: rng, aug: aug,
+	}
+	it.reshuffle()
+	return it
+}
+
+func (it *BatchIterator) reshuffle() {
+	it.epochIdx = append(it.epochIdx[:0], it.indices...)
+	if it.rng != nil {
+		it.rng.Shuffle(len(it.epochIdx), func(i, j int) {
+			it.epochIdx[i], it.epochIdx[j] = it.epochIdx[j], it.epochIdx[i]
+		})
+	}
+	it.pos = 0
+}
+
+// BatchesPerEpoch returns the number of batches one epoch yields.
+func (it *BatchIterator) BatchesPerEpoch() int {
+	return (len(it.indices) + it.batch - 1) / it.batch
+}
+
+// Next returns the next minibatch, reshuffling and wrapping at epoch
+// boundaries. The final batch of an epoch may be smaller than the batch
+// size.
+func (it *BatchIterator) Next() Batch {
+	if it.pos >= len(it.epochIdx) {
+		it.reshuffle()
+	}
+	end := it.pos + it.batch
+	if end > len(it.epochIdx) {
+		end = len(it.epochIdx)
+	}
+	ids := it.epochIdx[it.pos:end]
+	it.pos = end
+	return it.d.MakeBatch(ids, it.labelOf, it.aug, it.rng)
+}
+
+// MakeBatch assembles a batch from explicit instance indices. labelOf
+// maps dataset class id → split-local label; instances whose class is
+// not in labelOf panic (they would silently corrupt training otherwise).
+func (d *SynthCUB) MakeBatch(ids []int, labelOf map[int]int, aug *Augmentor, rng *rand.Rand) Batch {
+	if len(ids) == 0 {
+		panic("dataset.MakeBatch: empty batch")
+	}
+	h, w := d.Cfg.Height, d.Cfg.Width
+	alpha := d.Schema.Alpha()
+	b := Batch{
+		Images: tensor.New(len(ids), 3, h, w),
+		Labels: make([]int, len(ids)),
+		Attrs:  tensor.New(len(ids), alpha),
+	}
+	imgLen := 3 * h * w
+	for i, id := range ids {
+		inst := d.Instances[id]
+		label, ok := labelOf[inst.Class]
+		if !ok {
+			panic(fmt.Sprintf("dataset.MakeBatch: instance %d has class %d outside the split", id, inst.Class))
+		}
+		b.Labels[i] = label
+		img := inst.Image
+		if aug != nil {
+			img = aug.Apply(rng, img)
+		}
+		copy(b.Images.Data[i*imgLen:(i+1)*imgLen], img.Data)
+		copy(b.Attrs.Row(i), inst.Attr)
+	}
+	return b
+}

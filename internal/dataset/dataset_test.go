@@ -1,0 +1,471 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The schema must match the paper's CUB topology exactly: these three
+// numbers drive the memory-reduction claims of §III-A.
+func TestSchemaMatchesPaperTopology(t *testing.T) {
+	s := NewCUBSchema()
+	if g := s.NumGroups(); g != 28 {
+		t.Fatalf("G = %d, want 28", g)
+	}
+	if v := s.NumValues(); v != 61 {
+		t.Fatalf("V = %d, want 61", v)
+	}
+	if a := s.Alpha(); a != 312 {
+		t.Fatalf("α = %d, want 312", a)
+	}
+}
+
+func TestSchemaGroupSizesMatchCUB(t *testing.T) {
+	s := NewCUBSchema()
+	want := map[string]int{
+		"bill shape": 9, "tail shape": 6, "head pattern": 11,
+		"eye color": 14, "bill length": 3, "wing shape": 5,
+		"size": 5, "shape": 14, "breast pattern": 4, "crown color": 15,
+	}
+	for _, g := range s.Groups {
+		if w, ok := want[g.Name]; ok && len(g.Values) != w {
+			t.Errorf("group %q has %d values, want %d", g.Name, len(g.Values), w)
+		}
+	}
+}
+
+func TestSchemaAttrIndexRoundTrip(t *testing.T) {
+	s := NewCUBSchema()
+	for g := range s.Groups {
+		for vi := range s.Groups[g].Values {
+			a := s.AttrIndex(g, vi)
+			if s.AttrGroup[a] != g {
+				t.Fatalf("attr %d maps to group %d, want %d", a, s.AttrGroup[a], g)
+			}
+			if s.AttrValue[a] != s.Groups[g].Values[vi] {
+				t.Fatalf("attr %d value mismatch", a)
+			}
+		}
+	}
+}
+
+func TestSchemaValueSharingAcrossGroups(t *testing.T) {
+	s := NewCUBSchema()
+	// "spotted" must be shared between pattern groups and head pattern —
+	// the codebook-factoring memory saving depends on value reuse.
+	uses := map[int]int{}
+	for _, g := range s.Groups {
+		seen := map[int]bool{}
+		for _, v := range g.Values {
+			if seen[v] {
+				t.Fatalf("group %q lists value %q twice", g.Name, s.Values[v])
+			}
+			seen[v] = true
+			uses[v]++
+		}
+	}
+	var shared int
+	for _, n := range uses {
+		if n > 1 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no values shared across groups; factored codebooks would be pointless")
+	}
+	// Total combinations must re-sum to α.
+	var total int
+	for _, g := range s.Groups {
+		total += len(g.Values)
+	}
+	if total != s.Alpha() {
+		t.Fatalf("Σ group sizes = %d ≠ α = %d", total, s.Alpha())
+	}
+}
+
+func TestSchemaAttrNames(t *testing.T) {
+	s := NewCUBSchema()
+	name := s.AttrName(0)
+	if name == "" || name == "::" {
+		t.Fatalf("bad attr name %q", name)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumClasses = 6
+	cfg.ImagesPerClass = 3
+	d := Generate(cfg)
+	if d.NumInstances() != 18 {
+		t.Fatalf("instances = %d, want 18", d.NumInstances())
+	}
+	if d.ClassAttr.Dim(0) != 6 || d.ClassAttr.Dim(1) != 312 {
+		t.Fatalf("class attr shape %v", d.ClassAttr.Shape())
+	}
+	img := d.Instances[0].Image
+	if img.Dim(0) != 3 || img.Dim(1) != cfg.Height || img.Dim(2) != cfg.Width {
+		t.Fatalf("image shape %v", img.Shape())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumClasses = 4
+	cfg.ImagesPerClass = 2
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a.ClassAttr.Data {
+		if a.ClassAttr.Data[i] != b.ClassAttr.Data[i] {
+			t.Fatal("class attributes not deterministic under fixed seed")
+		}
+	}
+	for i := range a.Instances[3].Image.Data {
+		if a.Instances[3].Image.Data[i] != b.Instances[3].Image.Data[i] {
+			t.Fatal("rendering not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestClassAttrOneDominantValuePerGroup(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumClasses = 5
+	cfg.ImagesPerClass = 1
+	d := Generate(cfg)
+	for c := 0; c < cfg.NumClasses; c++ {
+		row := d.ClassAttr.Row(c)
+		for g, grp := range d.Schema.Groups {
+			off := d.Schema.GroupAttrOffset[g]
+			var dominant int
+			for vi := range grp.Values {
+				v := row[off+vi]
+				if v < 0 || v > 1 {
+					t.Fatalf("certainty %v out of [0,1]", v)
+				}
+				if v >= 0.7 {
+					dominant++
+				}
+			}
+			if dominant != 1 {
+				t.Fatalf("class %d group %q has %d dominant values, want 1", c, grp.Name, dominant)
+			}
+		}
+	}
+}
+
+func TestInstanceAttrExactlyOnePerGroup(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumClasses = 4
+	cfg.ImagesPerClass = 3
+	d := Generate(cfg)
+	for _, inst := range d.Instances {
+		for g, grp := range d.Schema.Groups {
+			off := d.Schema.GroupAttrOffset[g]
+			var active int
+			for vi := range grp.Values {
+				switch inst.Attr[off+vi] {
+				case 0:
+				case 1:
+					active++
+				default:
+					t.Fatalf("instance attribute not binary: %v", inst.Attr[off+vi])
+				}
+			}
+			if active != 1 {
+				t.Fatalf("group %q has %d active values, want exactly 1", grp.Name, active)
+			}
+		}
+	}
+}
+
+func TestInstanceAttrsMostlyFollowClassProfile(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumClasses = 5
+	cfg.ImagesPerClass = 20
+	cfg.AttrNoise = 0.05
+	d := Generate(cfg)
+	// For each class, the instance-majority value should usually be the
+	// class-dominant value.
+	agree, total := 0, 0
+	for c := 0; c < cfg.NumClasses; c++ {
+		row := d.ClassAttr.Row(c)
+		for g, grp := range d.Schema.Groups {
+			off := d.Schema.GroupAttrOffset[g]
+			classBest, bestV := 0, float32(-1)
+			for vi := range grp.Values {
+				if row[off+vi] > bestV {
+					bestV, classBest = row[off+vi], vi
+				}
+			}
+			counts := make([]int, len(grp.Values))
+			for _, inst := range d.Instances {
+				if inst.Class != c {
+					continue
+				}
+				for vi := range grp.Values {
+					if inst.Attr[off+vi] == 1 {
+						counts[vi]++
+					}
+				}
+			}
+			instBest := 0
+			for vi, n := range counts {
+				if n > counts[instBest] {
+					instBest = vi
+				}
+			}
+			total++
+			if instBest == classBest {
+				agree++
+			}
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.8 {
+		t.Fatalf("instance majority agrees with class profile only %.2f of the time", frac)
+	}
+}
+
+func TestImagesDifferAcrossValues(t *testing.T) {
+	// Two instances of different classes should render differently.
+	cfg := DefaultConfig()
+	cfg.NumClasses = 2
+	cfg.ImagesPerClass = 1
+	cfg.PixelNoise = 0
+	d := Generate(cfg)
+	a, b := d.Instances[0].Image, d.Instances[1].Image
+	var diff float64
+	for i := range a.Data {
+		dd := float64(a.Data[i] - b.Data[i])
+		diff += dd * dd
+	}
+	if diff < 1e-3 {
+		t.Fatal("different classes render nearly identical images")
+	}
+}
+
+func TestPixelRange(t *testing.T) {
+	d := Generate(DefaultConfig())
+	for _, inst := range d.Instances[:5] {
+		mn, mx := inst.Image.MinMax()
+		if mn < 0 || mx > 1 {
+			t.Fatalf("pixels out of [0,1]: [%v, %v]", mn, mx)
+		}
+	}
+}
+
+// --- splits ---
+
+func TestZSSplitClassesDisjoint(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumClasses = 20
+	d := Generate(cfg)
+	rng := rand.New(rand.NewSource(2))
+	sp := d.ZSSplit(rng, 0.75)
+	seen := map[int]bool{}
+	for _, c := range sp.TrainClasses {
+		seen[c] = true
+	}
+	for _, c := range sp.TestClasses {
+		if seen[c] {
+			t.Fatalf("class %d appears in both train and test of a ZS split", c)
+		}
+	}
+	if len(sp.TrainClasses) != 15 || len(sp.TestClasses) != 5 {
+		t.Fatalf("ZS split sizes %d/%d, want 15/5", len(sp.TrainClasses), len(sp.TestClasses))
+	}
+	// Instances follow their classes.
+	inTrain := ClassIndexMap(sp.TrainClasses)
+	for _, i := range sp.Train {
+		if _, ok := inTrain[d.Instances[i].Class]; !ok {
+			t.Fatal("train instance from test class")
+		}
+	}
+}
+
+func TestNoZSSplitSharesClasses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumClasses = 10
+	cfg.ImagesPerClass = 6
+	d := Generate(cfg)
+	rng := rand.New(rand.NewSource(3))
+	sp := d.NoZSSplit(rng, 5, 0.5)
+	if len(sp.TrainClasses) != 5 || len(sp.TestClasses) != 5 {
+		t.Fatalf("noZS class count %d/%d", len(sp.TrainClasses), len(sp.TestClasses))
+	}
+	// Every selected class appears on both sides.
+	trainBy := map[int]int{}
+	for _, i := range sp.Train {
+		trainBy[d.Instances[i].Class]++
+	}
+	testBy := map[int]int{}
+	for _, i := range sp.Test {
+		testBy[d.Instances[i].Class]++
+	}
+	for _, c := range sp.TrainClasses {
+		if trainBy[c] == 0 || testBy[c] == 0 {
+			t.Fatalf("class %d missing from one side of noZS split", c)
+		}
+	}
+	// No instance in both.
+	inTrain := map[int]bool{}
+	for _, i := range sp.Train {
+		inTrain[i] = true
+	}
+	for _, i := range sp.Test {
+		if inTrain[i] {
+			t.Fatal("instance leaked across noZS split")
+		}
+	}
+}
+
+func TestZSValSplitThreeWayDisjoint(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumClasses = 20
+	d := Generate(cfg)
+	rng := rand.New(rand.NewSource(4))
+	train, val := d.ZSValSplit(rng, 0.6, 0.2)
+	all := map[int]string{}
+	for _, c := range train.TrainClasses {
+		all[c] = "train"
+	}
+	for _, c := range val.TestClasses {
+		if all[c] != "" {
+			t.Fatalf("val class %d also %s", c, all[c])
+		}
+		all[c] = "val"
+	}
+	for _, c := range train.TestClasses {
+		if all[c] != "" {
+			t.Fatalf("test class %d also %s", c, all[c])
+		}
+	}
+}
+
+// --- augmentation ---
+
+func TestHFlipInvolution(t *testing.T) {
+	d := Generate(DefaultConfig())
+	img := d.Instances[0].Image
+	back := HFlip(HFlip(img))
+	for i := range img.Data {
+		if back.Data[i] != img.Data[i] {
+			t.Fatal("double flip is not identity")
+		}
+	}
+}
+
+func TestRotateZeroIsIdentity(t *testing.T) {
+	d := Generate(DefaultConfig())
+	img := d.Instances[0].Image
+	rot := Rotate(img, 0)
+	for i := range img.Data {
+		if rot.Data[i] != img.Data[i] {
+			t.Fatal("0° rotation changed the image")
+		}
+	}
+}
+
+func TestRotatePreservesShapeAndRange(t *testing.T) {
+	d := Generate(DefaultConfig())
+	img := d.Instances[0].Image
+	rot := Rotate(img, 33)
+	if !rot.SameShape(img) {
+		t.Fatalf("rotate changed shape: %v", rot.Shape())
+	}
+	mn, mx := rot.MinMax()
+	if mn < 0 || mx > 1 {
+		t.Fatal("rotation produced out-of-range pixels")
+	}
+}
+
+func TestCenterCropResizeShape(t *testing.T) {
+	d := Generate(DefaultConfig())
+	img := d.Instances[0].Image
+	out := CenterCropResize(img, 0.875)
+	if !out.SameShape(img) {
+		t.Fatalf("crop-resize changed shape: %v", out.Shape())
+	}
+}
+
+func TestAugmentorApplyDeterministicUnderSeed(t *testing.T) {
+	d := Generate(DefaultConfig())
+	img := d.Instances[0].Image
+	aug := DefaultAugmentor()
+	a := aug.Apply(rand.New(rand.NewSource(5)), img)
+	b := aug.Apply(rand.New(rand.NewSource(5)), img)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("augmentation not deterministic under fixed seed")
+		}
+	}
+}
+
+// --- batching ---
+
+func TestBatchIteratorCoversEpoch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumClasses = 6
+	cfg.ImagesPerClass = 4
+	d := Generate(cfg)
+	rng := rand.New(rand.NewSource(6))
+	sp := d.ZSSplit(rng, 0.5)
+	it := NewBatchIterator(d, sp.Train, sp.TrainClasses, 4, nil, rng)
+	seenLabels := map[int]bool{}
+	var total int
+	for i := 0; i < it.BatchesPerEpoch(); i++ {
+		b := it.Next()
+		total += len(b.Labels)
+		for _, l := range b.Labels {
+			if l < 0 || l >= len(sp.TrainClasses) {
+				t.Fatalf("label %d outside split label space", l)
+			}
+			seenLabels[l] = true
+		}
+		if b.Images.Dim(0) != len(b.Labels) || b.Attrs.Dim(0) != len(b.Labels) {
+			t.Fatal("batch tensor sizes disagree with labels")
+		}
+	}
+	if total != len(sp.Train) {
+		t.Fatalf("epoch covered %d instances, want %d", total, len(sp.Train))
+	}
+}
+
+func TestMakeBatchRejectsForeignClass(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumClasses = 4
+	d := Generate(cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MakeBatch accepted an out-of-split class")
+		}
+	}()
+	d.MakeBatch([]int{0}, map[int]int{}, nil, nil)
+}
+
+// --- SynthImageNet ---
+
+func TestSynthImageNetShapes(t *testing.T) {
+	d := GenerateImageNet(5, 4, 12, 12, 9)
+	if d.Len() != 20 {
+		t.Fatalf("len = %d, want 20", d.Len())
+	}
+	imgs, labels := d.Batch([]int{0, 7, 19})
+	if imgs.Dim(0) != 3 || imgs.Dim(1) != 3 || imgs.Dim(2) != 12 {
+		t.Fatalf("batch shape %v", imgs.Shape())
+	}
+	if labels[0] != 0 || labels[2] != 4 {
+		t.Fatalf("labels wrong: %v", labels)
+	}
+}
+
+func TestSynthImageNetClassesDiffer(t *testing.T) {
+	d := GenerateImageNet(2, 1, 12, 12, 10)
+	var diff float64
+	imgLen := 3 * 12 * 12
+	for i := 0; i < imgLen; i++ {
+		dd := float64(d.Images.Data[i] - d.Images.Data[imgLen+i])
+		diff += dd * dd
+	}
+	if diff < 1e-3 {
+		t.Fatal("SynthImageNet classes render nearly identically")
+	}
+}

@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// SynthImageNet is the phase-I pre-training substrate: a generic
+// image-classification dataset whose classes are defined by global
+// color/texture signatures unrelated to the SynthCUB attribute schema.
+// It plays the role ImageNet1K plays in the paper — giving the backbone
+// generic visual features before the domain-specific phases — without
+// requiring the real dataset.
+type SynthImageNet struct {
+	NumClasses    int
+	Height, Width int
+	Images        *tensor.Tensor // [N, 3, H, W]
+	Labels        []int
+}
+
+// GenerateImageNet builds a SynthImageNet dataset with the given class
+// count and images per class. Each class gets a random two-tone gradient
+// plus sinusoidal texture; instances perturb phase, gain, and noise.
+func GenerateImageNet(numClasses, perClass, h, w int, seed int64) *SynthImageNet {
+	if numClasses <= 1 || perClass <= 0 {
+		panic(fmt.Sprintf("dataset.GenerateImageNet: bad sizes classes=%d perClass=%d", numClasses, perClass))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := numClasses * perClass
+	d := &SynthImageNet{
+		NumClasses: numClasses, Height: h, Width: w,
+		Images: tensor.New(n, 3, h, w),
+		Labels: make([]int, n),
+	}
+	type sig struct {
+		r1, g1, b1, r2, g2, b2 float32
+		fx, fy, amp            float64
+	}
+	sigs := make([]sig, numClasses)
+	for c := range sigs {
+		sigs[c] = sig{
+			r1: rng.Float32(), g1: rng.Float32(), b1: rng.Float32(),
+			r2: rng.Float32(), g2: rng.Float32(), b2: rng.Float32(),
+			fx: 0.3 + rng.Float64()*2.5, fy: 0.3 + rng.Float64()*2.5,
+			amp: 0.1 + rng.Float64()*0.3,
+		}
+	}
+	plane := h * w
+	imgLen := 3 * plane
+	idx := 0
+	for c := 0; c < numClasses; c++ {
+		s := sigs[c]
+		for k := 0; k < perClass; k++ {
+			d.Labels[idx] = c
+			phase := rng.Float64() * 2 * math.Pi
+			gain := 1 + rng.NormFloat64()*0.08
+			base := idx * imgLen
+			for y := 0; y < h; y++ {
+				fy := float64(y) / float64(h-1)
+				for x := 0; x < w; x++ {
+					fx := float64(x) / float64(w-1)
+					mix := float32(fx+fy) / 2
+					tex := float32(s.amp * math.Sin(s.fx*float64(x)+s.fy*float64(y)+phase))
+					r := (s.r1*(1-mix) + s.r2*mix + tex) * float32(gain)
+					g := (s.g1*(1-mix) + s.g2*mix + tex) * float32(gain)
+					bch := (s.b1*(1-mix) + s.b2*mix + tex) * float32(gain)
+					p := y*w + x
+					d.Images.Data[base+0*plane+p] = clamp01(r + float32(rng.NormFloat64())*0.03)
+					d.Images.Data[base+1*plane+p] = clamp01(g + float32(rng.NormFloat64())*0.03)
+					d.Images.Data[base+2*plane+p] = clamp01(bch + float32(rng.NormFloat64())*0.03)
+				}
+			}
+			idx++
+		}
+	}
+	return d
+}
+
+// Batch returns images[ids] and the matching labels as a training batch.
+func (d *SynthImageNet) Batch(ids []int) (*tensor.Tensor, []int) {
+	h, w := d.Height, d.Width
+	imgLen := 3 * h * w
+	out := tensor.New(len(ids), 3, h, w)
+	labels := make([]int, len(ids))
+	for i, id := range ids {
+		copy(out.Data[i*imgLen:(i+1)*imgLen], d.Images.Data[id*imgLen:(id+1)*imgLen])
+		labels[i] = d.Labels[id]
+	}
+	return out, labels
+}
+
+// Len returns the number of images.
+func (d *SynthImageNet) Len() int { return len(d.Labels) }

@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Split is a partition of a SynthCUB dataset into train and test sets.
+// For the ZS (zero-shot) split, TrainClasses and TestClasses are disjoint
+// — the defining property of the task (Y_r ∩ Y_e = ∅, §II-a). For the
+// noZS split they are identical and the *instances* are partitioned.
+type Split struct {
+	Name         string
+	TrainClasses []int
+	TestClasses  []int
+	// Train and Test index into SynthCUB.Instances.
+	Train []int
+	Test  []int
+}
+
+// NoZSSplit reproduces the paper's noZS evaluation protocol: a subset of
+// classes (100 of CUB's 200) appears in both train and test, with each
+// class's images split by trainFrac. Used for the Table I attribute-
+// extraction comparison.
+func (d *SynthCUB) NoZSSplit(rng *rand.Rand, numClasses int, trainFrac float64) Split {
+	if numClasses <= 0 || numClasses > d.Cfg.NumClasses {
+		panic(fmt.Sprintf("dataset.NoZSSplit: numClasses %d out of range (have %d)",
+			numClasses, d.Cfg.NumClasses))
+	}
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic("dataset.NoZSSplit: trainFrac must be in (0,1)")
+	}
+	classes := rng.Perm(d.Cfg.NumClasses)[:numClasses]
+	inSet := make(map[int]bool, numClasses)
+	for _, c := range classes {
+		inSet[c] = true
+	}
+	sp := Split{
+		Name:         "noZS",
+		TrainClasses: append([]int(nil), classes...),
+		TestClasses:  append([]int(nil), classes...),
+	}
+	// Per-class instance split so every class appears on both sides.
+	perClass := map[int][]int{}
+	for i, inst := range d.Instances {
+		if inSet[inst.Class] {
+			perClass[inst.Class] = append(perClass[inst.Class], i)
+		}
+	}
+	for _, c := range classes {
+		ids := perClass[c]
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		cut := int(float64(len(ids)) * trainFrac)
+		if cut == 0 {
+			cut = 1
+		}
+		if cut == len(ids) {
+			cut = len(ids) - 1
+		}
+		sp.Train = append(sp.Train, ids[:cut]...)
+		sp.Test = append(sp.Test, ids[cut:]...)
+	}
+	return sp
+}
+
+// ZSSplit reproduces the paper's ZS protocol: classes are partitioned
+// into disjoint train and test sets (150/50 in the paper, i.e. 75%/25%).
+func (d *SynthCUB) ZSSplit(rng *rand.Rand, trainFrac float64) Split {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic("dataset.ZSSplit: trainFrac must be in (0,1)")
+	}
+	perm := rng.Perm(d.Cfg.NumClasses)
+	cut := int(float64(d.Cfg.NumClasses) * trainFrac)
+	if cut == 0 {
+		cut = 1
+	}
+	if cut == d.Cfg.NumClasses {
+		cut = d.Cfg.NumClasses - 1
+	}
+	sp := Split{
+		Name:         "ZS",
+		TrainClasses: append([]int(nil), perm[:cut]...),
+		TestClasses:  append([]int(nil), perm[cut:]...),
+	}
+	sp.Train, sp.Test = d.assignInstances(sp.TrainClasses, sp.TestClasses)
+	return sp
+}
+
+// ZSValSplit is the three-way variant behind Fig. 5: disjoint train /
+// validation / test classes (the paper tunes hyperparameters on a
+// 50-class validation split disjoint from both).
+func (d *SynthCUB) ZSValSplit(rng *rand.Rand, trainFrac, valFrac float64) (train Split, val Split) {
+	if trainFrac+valFrac >= 1 || trainFrac <= 0 || valFrac <= 0 {
+		panic("dataset.ZSValSplit: need trainFrac, valFrac > 0 with sum < 1")
+	}
+	perm := rng.Perm(d.Cfg.NumClasses)
+	nTrain := int(float64(d.Cfg.NumClasses) * trainFrac)
+	nVal := int(float64(d.Cfg.NumClasses) * valFrac)
+	if nTrain == 0 {
+		nTrain = 1
+	}
+	if nVal == 0 {
+		nVal = 1
+	}
+	trainClasses := append([]int(nil), perm[:nTrain]...)
+	valClasses := append([]int(nil), perm[nTrain:nTrain+nVal]...)
+	testClasses := append([]int(nil), perm[nTrain+nVal:]...)
+
+	train = Split{Name: "ZS", TrainClasses: trainClasses, TestClasses: testClasses}
+	train.Train, train.Test = d.assignInstances(trainClasses, testClasses)
+	val = Split{Name: "ZSval", TrainClasses: trainClasses, TestClasses: valClasses}
+	val.Train, val.Test = d.assignInstances(trainClasses, valClasses)
+	return train, val
+}
+
+// assignInstances buckets instance indices by class membership.
+func (d *SynthCUB) assignInstances(trainClasses, testClasses []int) (train, test []int) {
+	inTrain := map[int]bool{}
+	for _, c := range trainClasses {
+		inTrain[c] = true
+	}
+	inTest := map[int]bool{}
+	for _, c := range testClasses {
+		inTest[c] = true
+	}
+	for i, inst := range d.Instances {
+		switch {
+		case inTrain[inst.Class]:
+			train = append(train, i)
+		case inTest[inst.Class]:
+			test = append(test, i)
+		}
+	}
+	return
+}
+
+// ClassIndexMap returns a map from dataset class id to position within
+// the split's class list, the label space models train against.
+func ClassIndexMap(classes []int) map[int]int {
+	m := make(map[int]int, len(classes))
+	for i, c := range classes {
+		m[c] = i
+	}
+	return m
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// TestProbeD768 is a manual calibration probe, enabled via PROBE=1.
+func TestProbeD768(t *testing.T) {
+	if os.Getenv("PROBE") == "" {
+		t.Skip("set PROBE=1 to run the calibration probe")
+	}
+	sc := FullScale()
+	sc.ProjDim = 768
+	seed := sc.Seeds[0]
+	d := sc.Dataset(seed)
+	rng := rand.New(rand.NewSource(seed + 333))
+	split := d.NoZSSplit(rng, sc.Classes/2, 0.7)
+	pre := sc.Pretrain(seed)
+	cfg := sc.Pipeline(seed)
+	model, hdcEnc := cfg.Build(d.Schema)
+	core.PretrainClassification(model.Image, pre, cfg.PhaseI)
+	core.TrainAttributeExtraction(model.Image, model.Kernel, hdcEnc.Dictionary(), d, split, cfg.PhaseII)
+	scores, targets := core.AttributeScores(model.Image, model.Kernel, hdcEnc.Dictionary(), d, split.Test)
+	var top1Avg, wmapAvg float64
+	for g := range d.Schema.Groups {
+		off := d.Schema.GroupAttrOffset[g]
+		size := len(d.Schema.Groups[g].Values)
+		top1Avg += metrics.GroupTop1Accuracy(scores, targets, off, size)
+		wmapAvg += groupWMAP(scores, targets, off, size)
+	}
+	top1Avg /= float64(d.Schema.NumGroups())
+	wmapAvg /= float64(d.Schema.NumGroups())
+	t.Logf("d=768: avgGroupWMAP=%.4f avgGroupTop1=%.4f (refs: finetag WMAP .438, a3m top1 .442)",
+		wmapAvg, top1Avg)
+}

@@ -1,0 +1,156 @@
+package hdc
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Binary is a packed binary hypervector: 64 components per uint64 word.
+// Component i lives at bit (i % 64) of word (i / 64). A set bit maps to
+// bipolar −1 and a clear bit to +1, so XOR implements binding exactly as
+// elementwise multiplication does on the bipolar side.
+//
+// This is the representation the paper's edge-deployment story targets:
+// the attribute encoder becomes stationary binary weights whose binding
+// and similarity reduce to XOR + popcount.
+type Binary struct {
+	words []uint64
+	dim   int
+}
+
+// NewBinary returns an all-zero (all +1 in bipolar terms) packed vector.
+func NewBinary(d int) *Binary {
+	if d <= 0 {
+		panic(fmt.Sprintf("hdc.NewBinary: non-positive dimension %d", d))
+	}
+	return &Binary{words: make([]uint64, (d+63)/64), dim: d}
+}
+
+// NewRandomBinary samples a uniformly random packed binary hypervector.
+func NewRandomBinary(rng *rand.Rand, d int) *Binary {
+	b := NewBinary(d)
+	for i := range b.words {
+		b.words[i] = rng.Uint64()
+	}
+	b.maskTail()
+	return b
+}
+
+// maskTail clears the unused bits of the final word so popcounts and
+// equality comparisons see only real components.
+func (b *Binary) maskTail() {
+	if rem := b.dim % 64; rem != 0 {
+		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Dim returns the dimensionality.
+func (b *Binary) Dim() int { return b.dim }
+
+// Bit returns component i as 0 or 1.
+func (b *Binary) Bit(i int) int {
+	if i < 0 || i >= b.dim {
+		panic(fmt.Sprintf("hdc.Binary.Bit: index %d out of range [0,%d)", i, b.dim))
+	}
+	return int((b.words[i/64] >> uint(i%64)) & 1)
+}
+
+// SetBit sets component i to v (0 or 1).
+func (b *Binary) SetBit(i, v int) {
+	if i < 0 || i >= b.dim {
+		panic(fmt.Sprintf("hdc.Binary.SetBit: index %d out of range [0,%d)", i, b.dim))
+	}
+	if v != 0 {
+		b.words[i/64] |= 1 << uint(i%64)
+	} else {
+		b.words[i/64] &^= 1 << uint(i%64)
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Binary) Clone() *Binary {
+	c := NewBinary(b.dim)
+	copy(c.words, b.words)
+	return c
+}
+
+// Xor computes the binding b ⊙ o as bitwise XOR into a new vector.
+func (b *Binary) Xor(o *Binary) *Binary {
+	checkDims("Binary.Xor", b.dim, o.dim)
+	out := NewBinary(b.dim)
+	for i := range b.words {
+		out.words[i] = b.words[i] ^ o.words[i]
+	}
+	return out
+}
+
+// Hamming returns the number of differing components via popcount.
+func (b *Binary) Hamming(o *Binary) int {
+	checkDims("Binary.Hamming", b.dim, o.dim)
+	var h int
+	for i := range b.words {
+		h += bits.OnesCount64(b.words[i] ^ o.words[i])
+	}
+	return h
+}
+
+// NormalizedHamming returns Hamming distance divided by dimensionality;
+// 0 means identical, 0.5 is the expected distance of random vectors, and
+// 1 means complementary.
+func (b *Binary) NormalizedHamming(o *Binary) float64 {
+	return float64(b.Hamming(o)) / float64(b.dim)
+}
+
+// Cosine returns the bipolar-equivalent cosine similarity, which for the
+// bit↔±1 mapping equals 1 − 2·normalizedHamming.
+func (b *Binary) Cosine(o *Binary) float64 {
+	return 1 - 2*b.NormalizedHamming(o)
+}
+
+// Permute rotates components by k positions (bit-level rotation across the
+// packed words), the ρ operation.
+func (b *Binary) Permute(k int) *Binary {
+	out := NewBinary(b.dim)
+	d := b.dim
+	k = ((k % d) + d) % d
+	for i := 0; i < d; i++ {
+		out.SetBit((i+k)%d, b.Bit(i))
+	}
+	return out
+}
+
+// ToBipolar expands the packed vector to its bipolar equivalent
+// (bit 1 → −1, bit 0 → +1).
+func (b *Binary) ToBipolar() Bipolar {
+	out := make(Bipolar, b.dim)
+	for i := 0; i < b.dim; i++ {
+		if b.Bit(i) == 1 {
+			out[i] = -1
+		} else {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// FromBipolar packs a bipolar vector into binary form (−1 → bit 1).
+// Zero components (possible in unthresholded intermediates) are rejected.
+func FromBipolar(v Bipolar) *Binary {
+	b := NewBinary(len(v))
+	for i, x := range v {
+		switch x {
+		case -1:
+			b.SetBit(i, 1)
+		case 1:
+			// bit stays 0
+		default:
+			panic(fmt.Sprintf("hdc.FromBipolar: component %d is %d, want ±1", i, x))
+		}
+	}
+	return b
+}
+
+// Bytes returns the storage size of the packed vector in bytes, used by
+// the memory-footprint accounting (§III-A).
+func (b *Binary) Bytes() int { return len(b.words) * 8 }

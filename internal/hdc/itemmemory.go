@@ -1,0 +1,93 @@
+package hdc
+
+import "fmt"
+
+// ItemMemory is an associative memory over labeled hypervectors: the
+// classic HDC classifier readout. Query returns the stored item with the
+// highest similarity to a probe vector. The paper's similarity kernel is
+// the real-valued analogue of this structure; ItemMemory provides the
+// packed binary variant used on the edge-inference path
+// (examples/edge_profile) where similarity is XOR + popcount.
+type ItemMemory struct {
+	labels  []string
+	vectors []*Binary
+	dim     int
+}
+
+// NewItemMemory returns an empty item memory for dimension d.
+func NewItemMemory(d int) *ItemMemory {
+	if d <= 0 {
+		panic(fmt.Sprintf("hdc.NewItemMemory: non-positive dimension %d", d))
+	}
+	return &ItemMemory{dim: d}
+}
+
+// Store adds a labeled vector. Dimensions must match the memory.
+func (m *ItemMemory) Store(label string, v *Binary) {
+	checkDims("ItemMemory.Store", m.dim, v.Dim())
+	m.labels = append(m.labels, label)
+	m.vectors = append(m.vectors, v.Clone())
+}
+
+// Len returns the number of stored items.
+func (m *ItemMemory) Len() int { return len(m.vectors) }
+
+// Query returns the label and index of the stored vector nearest to probe
+// (minimum Hamming distance), along with that distance. Ties resolve to
+// the lowest index. Querying an empty memory panics.
+func (m *ItemMemory) Query(probe *Binary) (label string, index, distance int) {
+	if len(m.vectors) == 0 {
+		panic("hdc.ItemMemory.Query: empty memory")
+	}
+	checkDims("ItemMemory.Query", m.dim, probe.Dim())
+	best, bi := m.vectors[0].Hamming(probe), 0
+	for i := 1; i < len(m.vectors); i++ {
+		if h := m.vectors[i].Hamming(probe); h < best {
+			best, bi = h, i
+		}
+	}
+	return m.labels[bi], bi, best
+}
+
+// QueryTopK returns the indices of the k nearest stored vectors in
+// ascending distance order (ties by index).
+func (m *ItemMemory) QueryTopK(probe *Binary, k int) []int {
+	if k <= 0 || k > len(m.vectors) {
+		panic(fmt.Sprintf("hdc.ItemMemory.QueryTopK: k=%d with %d items", k, len(m.vectors)))
+	}
+	type cand struct{ idx, dist int }
+	cands := make([]cand, len(m.vectors))
+	for i, v := range m.vectors {
+		cands[i] = cand{i, v.Hamming(probe)}
+	}
+	// Selection by repeated minimum keeps this dependency-free and is fine
+	// for the class counts involved (≤ a few hundred).
+	out := make([]int, 0, k)
+	used := make([]bool, len(cands))
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, c := range cands {
+			if used[i] {
+				continue
+			}
+			if best == -1 || c.dist < cands[best].dist {
+				best = i
+			}
+		}
+		used[best] = true
+		out = append(out, cands[best].idx)
+	}
+	return out
+}
+
+// Label returns the label of item i.
+func (m *ItemMemory) Label(i int) string { return m.labels[i] }
+
+// Bytes returns the packed storage footprint of all stored vectors.
+func (m *ItemMemory) Bytes() int {
+	var b int
+	for _, v := range m.vectors {
+		b += v.Bytes()
+	}
+	return b
+}

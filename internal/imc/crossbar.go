@@ -1,0 +1,187 @@
+// Package imc simulates the in-memory-computing deployment the paper's
+// outlook (§V) proposes: offloading the stationary binary attribute
+// encoder weights and the similarity-kernel matrix-vector products to an
+// analog non-von-Neumann accelerator such as the PCM-based Hermes core
+// [37] or a digital always-on HDC accelerator [38].
+//
+// The model captures the three dominant analog non-idealities:
+//
+//   - programming noise: each stored conductance deviates from its
+//     target by a Gaussian proportional to the conductance range;
+//   - read noise: every matrix-vector product adds fresh Gaussian noise
+//     per output line;
+//   - ADC quantization: outputs are clipped and uniformly quantized to
+//     a configurable bit width.
+//
+// The point of the simulation — and of the paper's architecture — is
+// that the HDC similarity readout tolerates these corruptions: class
+// predictions survive noise levels that would cripple exact arithmetic.
+// BenchmarkIMCRobustness and examples/edge_profile quantify it.
+package imc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Config describes the analog array non-idealities.
+type Config struct {
+	// ProgNoise is the std of programming error relative to the full
+	// conductance range (typical PCM: 0.02–0.08).
+	ProgNoise float64
+	// ReadNoise is the std of per-MVM additive output noise relative to
+	// the maximum ideal output magnitude.
+	ReadNoise float64
+	// ADCBits is the output quantizer resolution; 0 disables quantization.
+	ADCBits int
+	// Seed drives the programming-noise draw (fixed at Program time) and
+	// the read-noise stream.
+	Seed int64
+}
+
+// Ideal returns a configuration with no non-idealities, for A/B testing.
+func Ideal() Config { return Config{} }
+
+// TypicalPCM returns non-idealities representative of a PCM crossbar of
+// the Hermes-core class [37].
+func TypicalPCM() Config {
+	return Config{ProgNoise: 0.04, ReadNoise: 0.02, ADCBits: 8, Seed: 1}
+}
+
+// Crossbar is a weight matrix programmed into a simulated analog array.
+// The programmed (noisy) conductances are drawn once at Program time —
+// exactly like device programming — while read noise is fresh per MVM.
+type Crossbar struct {
+	cfg        Config
+	programmed *tensor.Tensor // [rows, cols] with programming noise baked in
+	scale      float32        // max |w| of the ideal matrix
+	readRng    *rand.Rand
+}
+
+// Program stores the weight matrix w [rows, cols] into a new crossbar,
+// applying programming noise.
+func Program(w *tensor.Tensor, cfg Config) *Crossbar {
+	if w.Rank() != 2 {
+		panic(fmt.Sprintf("imc.Program: want rank-2 weights, have %v", w.Shape()))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mn, mx := w.MinMax()
+	scale := float32(math.Max(math.Abs(float64(mn)), math.Abs(float64(mx))))
+	if scale == 0 {
+		scale = 1
+	}
+	prog := w.Clone()
+	if cfg.ProgNoise > 0 {
+		for i := range prog.Data {
+			prog.Data[i] += scale * float32(rng.NormFloat64()*cfg.ProgNoise)
+		}
+	}
+	return &Crossbar{
+		cfg:        cfg,
+		programmed: prog,
+		scale:      scale,
+		readRng:    rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+}
+
+// Rows returns the number of stored rows (output lines).
+func (c *Crossbar) Rows() int { return c.programmed.Dim(0) }
+
+// Cols returns the input dimension.
+func (c *Crossbar) Cols() int { return c.programmed.Dim(1) }
+
+// MatVec performs one analog matrix-vector product W·x with read noise
+// and ADC quantization applied to the output.
+func (c *Crossbar) MatVec(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 1 || x.Dim(0) != c.Cols() {
+		panic(fmt.Sprintf("imc.MatVec: input %v incompatible with crossbar %dx%d",
+			x.Shape(), c.Rows(), c.Cols()))
+	}
+	out := tensor.MatVec(c.programmed, x)
+	c.corrupt(out, x)
+	return out
+}
+
+// MatMulT computes X·Wᵀ for a batch X [n, cols] → [n, rows], applying
+// read noise and quantization per row — the batched similarity-kernel
+// call pattern.
+func (c *Crossbar) MatMulT(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != c.Cols() {
+		panic(fmt.Sprintf("imc.MatMulT: input %v incompatible with crossbar %dx%d",
+			x.Shape(), c.Rows(), c.Cols()))
+	}
+	out := tensor.MatMulT(x, c.programmed)
+	for r := 0; r < out.Dim(0); r++ {
+		row := tensor.FromSlice(out.Row(r), out.Dim(1))
+		c.corrupt(row, tensor.FromSlice(x.Row(r), x.Dim(1)))
+	}
+	return out
+}
+
+// corrupt applies read noise and ADC quantization in place. The noise
+// and clipping ranges are referenced to the worst-case ideal output
+// magnitude scale·‖x‖₁, the physically meaningful full-scale range.
+func (c *Crossbar) corrupt(out *tensor.Tensor, x *tensor.Tensor) {
+	var l1 float64
+	for _, v := range x.Data {
+		l1 += math.Abs(float64(v))
+	}
+	full := float64(c.scale) * l1
+	if full == 0 {
+		return
+	}
+	if c.cfg.ReadNoise > 0 {
+		for i := range out.Data {
+			out.Data[i] += float32(c.readRng.NormFloat64() * c.cfg.ReadNoise * full)
+		}
+	}
+	if c.cfg.ADCBits > 0 {
+		levels := float64(int(1) << uint(c.cfg.ADCBits))
+		step := 2 * full / levels
+		for i := range out.Data {
+			v := math.Max(-full, math.Min(full, float64(out.Data[i])))
+			out.Data[i] = float32(math.Round(v/step) * step)
+		}
+	}
+}
+
+// SimilarityKernel computes the HDC-ZSC similarity logits with the class
+// embedding matrix resident in the crossbar: cos(x, W_r)/K per output
+// line, using analog MVMs for the dot products. Row norms are taken from
+// the *programmed* matrix (they would be calibrated once on-device).
+type SimilarityKernel struct {
+	bar      *Crossbar
+	rowNorms *tensor.Tensor
+	K        float32
+}
+
+// NewSimilarityKernel programs the class-embedding matrix phi [C, d]
+// into an array and returns the analog similarity kernel with
+// temperature k.
+func NewSimilarityKernel(phi *tensor.Tensor, k float32, cfg Config) *SimilarityKernel {
+	if k <= 0 {
+		panic("imc.NewSimilarityKernel: temperature must be positive")
+	}
+	bar := Program(phi, cfg)
+	return &SimilarityKernel{bar: bar, rowNorms: tensor.RowNorms(bar.programmed), K: k}
+}
+
+// Logits returns the [n, C] similarity logits for embeddings x [n, d].
+func (s *SimilarityKernel) Logits(x *tensor.Tensor) *tensor.Tensor {
+	dots := s.bar.MatMulT(x)
+	xNorms := tensor.RowNorms(x)
+	out := tensor.New(dots.Dim(0), dots.Dim(1))
+	for r := 0; r < out.Dim(0); r++ {
+		xn := xNorms.Data[r]
+		for cIdx := 0; cIdx < out.Dim(1); cIdx++ {
+			den := xn * s.rowNorms.Data[cIdx] * s.K
+			if den != 0 {
+				out.Set(dots.At(r, cIdx)/den, r, cIdx)
+			}
+		}
+	}
+	return out
+}

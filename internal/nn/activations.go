@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation, max(0, x), any rank.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward zeroes negative activations and records the pass-through mask.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	r.mask = make([]bool, x.Len())
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward gates the incoming gradient by the forward mask.
+func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic("nn.ReLU: Backward called before Forward")
+	}
+	dx := tensor.New(dout.Shape()...)
+	for i, pass := range r.mask {
+		if pass {
+			dx.Data[i] = dout.Data[i]
+		}
+	}
+	return dx
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Dropout zeroes activations with probability P during training and
+// rescales survivors by 1/(1−P) (inverted dropout), passing inputs through
+// unchanged at evaluation time.
+type Dropout struct {
+	P    float32
+	rng  *rand.Rand
+	mask []bool
+}
+
+// NewDropout builds a dropout layer with drop probability p using rng.
+func NewDropout(rng *rand.Rand, p float32) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn.Dropout: p must be in [0, 1)")
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward applies dropout in training mode.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	out := tensor.New(x.Shape()...)
+	d.mask = make([]bool, x.Len())
+	scale := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if d.rng.Float32() >= d.P {
+			out.Data[i] = v * scale
+			d.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward propagates gradient only through surviving units.
+func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return dout
+	}
+	dx := tensor.New(dout.Shape()...)
+	scale := 1 / (1 - d.P)
+	for i, keep := range d.mask {
+		if keep {
+			dx.Data[i] = dout.Data[i] * scale
+		}
+	}
+	return dx
+}
+
+// Params returns nil; Dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Flatten reshapes [N, C, H, W] activations to [N, C·H·W]; backward
+// restores the original shape.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all but the batch dimension.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = x.Shape()
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward restores the pre-flatten shape.
+func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if f.inShape == nil {
+		panic("nn.Flatten: Backward called before Forward")
+	}
+	return dout.Reshape(f.inShape...)
+}
+
+// Params returns nil; Flatten has no parameters.
+func (f *Flatten) Params() []*Param { return nil }

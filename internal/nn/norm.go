@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of NCHW activations over the batch
+// and spatial axes, with learnable per-channel scale (gamma) and shift
+// (beta) and running statistics for inference.
+type BatchNorm2D struct {
+	Gamma, Beta          *Param
+	RunningMean, RunningVar *tensor.Tensor
+	Momentum             float32
+	Eps                  float32
+
+	// cached forward state for backward
+	xhat      *tensor.Tensor
+	invStd    []float32
+	lastShape []int
+}
+
+// NewBatchNorm2D builds a batch-norm layer for c channels with gamma=1,
+// beta=0, running statistics initialized to the standard (0, 1).
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		Gamma:       NewParam(name+".gamma", tensor.Ones(c)),
+		Beta:        NewParam(name+".beta", tensor.New(c)),
+		RunningMean: tensor.New(c),
+		RunningVar:  tensor.Ones(c),
+		Momentum:    0.9,
+		Eps:         1e-5,
+	}
+	bn.Gamma.NoDecay = true
+	bn.Beta.NoDecay = true
+	return bn
+}
+
+// Forward normalizes x. In training mode it uses batch statistics and
+// updates the running estimates; in evaluation mode it uses the running
+// estimates, which keeps inference deterministic (the paper's stationary
+// deployment).
+func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank("BatchNorm2D", x, 4)
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != bn.Gamma.Value.Len() {
+		panic(fmt.Sprintf("nn.BatchNorm2D: %d channels, layer has %d", c, bn.Gamma.Value.Len()))
+	}
+	plane := h * w
+	count := n * plane
+	out := tensor.New(n, c, h, w)
+	bn.xhat = tensor.New(n, c, h, w)
+	bn.invStd = make([]float32, c)
+	bn.lastShape = []int{n, c, h, w}
+
+	for ch := 0; ch < c; ch++ {
+		var mean, variance float32
+		if train {
+			var s float64
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * plane
+				for p := 0; p < plane; p++ {
+					s += float64(x.Data[base+p])
+				}
+			}
+			mean = float32(s / float64(count))
+			var sv float64
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * plane
+				for p := 0; p < plane; p++ {
+					d := float64(x.Data[base+p] - mean)
+					sv += d * d
+				}
+			}
+			variance = float32(sv / float64(count))
+			m := bn.Momentum
+			bn.RunningMean.Data[ch] = m*bn.RunningMean.Data[ch] + (1-m)*mean
+			bn.RunningVar.Data[ch] = m*bn.RunningVar.Data[ch] + (1-m)*variance
+		} else {
+			mean = bn.RunningMean.Data[ch]
+			variance = bn.RunningVar.Data[ch]
+		}
+		inv := float32(1 / math.Sqrt(float64(variance)+float64(bn.Eps)))
+		bn.invStd[ch] = inv
+		g, b := bn.Gamma.Value.Data[ch], bn.Beta.Value.Data[ch]
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for p := 0; p < plane; p++ {
+				xh := (x.Data[base+p] - mean) * inv
+				bn.xhat.Data[base+p] = xh
+				out.Data[base+p] = g*xh + b
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements the standard batch-norm gradient:
+// dx = (γ/σ)·(dy − mean(dy) − x̂·mean(dy·x̂)), per channel, with the means
+// taken over the normalization axes. It also accumulates dγ and dβ.
+func (bn *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if bn.xhat == nil {
+		panic("nn.BatchNorm2D: Backward called before Forward")
+	}
+	n, c, h, w := bn.lastShape[0], bn.lastShape[1], bn.lastShape[2], bn.lastShape[3]
+	plane := h * w
+	count := float32(n * plane)
+	dx := tensor.New(n, c, h, w)
+	for ch := 0; ch < c; ch++ {
+		var sumDy, sumDyXhat float64
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for p := 0; p < plane; p++ {
+				dy := float64(dout.Data[base+p])
+				sumDy += dy
+				sumDyXhat += dy * float64(bn.xhat.Data[base+p])
+			}
+		}
+		bn.Beta.Grad.Data[ch] += float32(sumDy)
+		bn.Gamma.Grad.Data[ch] += float32(sumDyXhat)
+
+		meanDy := float32(sumDy) / count
+		meanDyXhat := float32(sumDyXhat) / count
+		scale := bn.Gamma.Value.Data[ch] * bn.invStd[ch]
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for p := 0; p < plane; p++ {
+				dx.Data[base+p] = scale * (dout.Data[base+p] - meanDy - bn.xhat.Data[base+p]*meanDyXhat)
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns gamma and beta.
+func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// State exposes the running statistics for checkpointing (they are not
+// parameters, but inference depends on them).
+func (bn *BatchNorm2D) State() []*tensor.Tensor {
+	return []*tensor.Tensor{bn.RunningMean, bn.RunningVar}
+}

@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/tensor"
+)
+
+// Checkpoint serialization: a minimal, dependency-free binary format for
+// parameter sets, so matured phase-I/II weights can be saved and the ZSC
+// fine-tuning resumed later (the deployment flow of Fig. 2 → Fig. 3).
+//
+// Format: magic "HDCZSC01", uint32 parameter count, then per parameter:
+// uint32 name length, name bytes, uint32 rank, uint32 dims…, float32
+// data (little endian). Loading matches parameters by name and shape.
+
+const checkpointMagic = "HDCZSC01"
+
+// SaveParams writes the parameter values to w.
+func SaveParams(w io.Writer, params []*Param) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		shape := p.Value.Shape()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		for _, v := range p.Value.Data {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams reads a checkpoint from r into params, matching by name.
+// Every parameter in params must be present in the checkpoint with an
+// identical shape; extra checkpoint entries are an error too, so a
+// mismatched architecture fails loudly rather than half-loading.
+func LoadParams(r io.Reader, params []*Param) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nn.LoadParams: reading magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("nn.LoadParams: bad magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	byName := make(map[string]*Param, len(params))
+	for _, p := range params {
+		if _, dup := byName[p.Name]; dup {
+			return fmt.Errorf("nn.LoadParams: duplicate parameter name %q in target", p.Name)
+		}
+		byName[p.Name] = p
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn.LoadParams: checkpoint has %d params, target has %d", count, len(params))
+	}
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		p, ok := byName[string(name)]
+		if !ok {
+			return fmt.Errorf("nn.LoadParams: checkpoint parameter %q not in target", name)
+		}
+		var rank uint32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return err
+		}
+		shape := make([]int, rank)
+		n := 1
+		for j := range shape {
+			var d uint32
+			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+				return err
+			}
+			shape[j] = int(d)
+			n *= int(d)
+		}
+		want := p.Value.Shape()
+		if len(want) != len(shape) {
+			return fmt.Errorf("nn.LoadParams: %q rank mismatch %v vs %v", name, shape, want)
+		}
+		for j := range shape {
+			if shape[j] != want[j] {
+				return fmt.Errorf("nn.LoadParams: %q shape mismatch %v vs %v", name, shape, want)
+			}
+		}
+		for j := 0; j < n; j++ {
+			var bits uint32
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return err
+			}
+			p.Value.Data[j] = math.Float32frombits(bits)
+		}
+	}
+	return nil
+}
+
+// SaveParamsFile writes a checkpoint to path.
+func SaveParamsFile(path string, params []*Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveParams(f, params); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadParamsFile reads a checkpoint from path.
+func LoadParamsFile(path string, params []*Param) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadParams(f, params)
+}
+
+// StateParams wraps non-parameter state tensors (batch-norm running
+// statistics) as synthetic frozen parameters named "state.NNNN" so they
+// ride the same checkpoint format. Both saver and loader must enumerate
+// the state in the same deterministic order (Stateful guarantees it).
+func StateParams(state []*tensor.Tensor) []*Param {
+	out := make([]*Param, len(state))
+	for i, s := range state {
+		out[i] = &Param{
+			Name:   fmt.Sprintf("state.%04d", i),
+			Value:  s,
+			Frozen: true,
+		}
+	}
+	return out
+}

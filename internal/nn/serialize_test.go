@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := NewSequential(
+		NewLinear(rng, "fc1", 4, 6, true),
+		NewReLU(),
+		NewLinear(rng, "fc2", 6, 3, true),
+	)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	// A freshly initialized twin with the same names/shapes.
+	rng2 := rand.New(rand.NewSource(99))
+	dst := NewSequential(
+		NewLinear(rng2, "fc1", 4, 6, true),
+		NewReLU(),
+		NewLinear(rng2, "fc2", 6, 3, true),
+	)
+	if err := LoadParams(&buf, dst.Params()); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for i, p := range src.Params() {
+		q := dst.Params()[i]
+		for j := range p.Value.Data {
+			if p.Value.Data[j] != q.Value.Data[j] {
+				t.Fatalf("param %s diverges after round trip", p.Name)
+			}
+		}
+	}
+	// Behavioural check: identical outputs.
+	x := tensor.Randn(rng, 1, 2, 4)
+	a := src.Forward(x, false)
+	b := dst.Forward(x, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("loaded model computes different outputs")
+		}
+	}
+}
+
+func TestLoadRejectsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := NewLinear(rng, "fc", 4, 4, false)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewLinear(rng, "fc", 4, 5, false) // wrong shape
+	if err := LoadParams(&buf, dst.Params()); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestLoadRejectsUnknownParameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := NewLinear(rng, "other", 2, 2, false)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewLinear(rng, "fc", 2, 2, false)
+	if err := LoadParams(&buf, dst.Params()); err == nil {
+		t.Fatal("unknown parameter name accepted")
+	}
+}
+
+func TestLoadRejectsCountMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := NewLinear(rng, "fc", 2, 2, true) // W and b
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewLinear(rng, "fc", 2, 2, false) // only W
+	if err := LoadParams(&buf, dst.Params()); err == nil {
+		t.Fatal("parameter count mismatch accepted")
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dst := NewLinear(rng, "fc", 2, 2, false)
+	if err := LoadParams(bytes.NewBufferString("NOTAMAGIC..."), dst.Params()); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	src := NewLinear(rng, "fc", 3, 3, true)
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := SaveParamsFile(path, src.Params()); err != nil {
+		t.Fatalf("save file: %v", err)
+	}
+	dst := NewLinear(rand.New(rand.NewSource(7)), "fc", 3, 3, true)
+	if err := LoadParamsFile(path, dst.Params()); err != nil {
+		t.Fatalf("load file: %v", err)
+	}
+	if dst.W.Value.Data[0] != src.W.Value.Data[0] {
+		t.Fatal("file round trip lost data")
+	}
+}

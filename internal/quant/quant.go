@@ -1,0 +1,124 @@
+// Package quant provides the digital edge-inference path of the paper's
+// §V outlook: symmetric int8 post-training quantization of the trained
+// FC projection so that the full deployed model — int8 projection, 1-bit
+// attribute codebooks, XOR/popcount or integer similarity — fits the
+// memory and arithmetic budget of an always-on accelerator [38].
+//
+// Quantization is symmetric per-tensor: q = round(w/s) clamped to
+// [−127, 127] with s = max|w|/127. The quantized matmul accumulates in
+// int32 and dequantizes once per output, the standard integer-inference
+// kernel.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Linear is an int8-quantized, inference-only fully connected layer.
+type Linear struct {
+	// W holds the quantized weights [in, out] as int8.
+	W []int8
+	// Bias is kept in float32 (its storage is negligible and integer bias
+	// requires the input scale, which varies per batch).
+	Bias []float32
+	// Scale is the weight dequantization scale.
+	Scale float32
+	in, out int
+}
+
+// QuantizeLinear converts a trained nn.Linear into its int8 twin.
+func QuantizeLinear(l *nn.Linear) *Linear {
+	w := l.W.Value
+	in, out := w.Dim(0), w.Dim(1)
+	mn, mx := w.MinMax()
+	maxAbs := float32(math.Max(math.Abs(float64(mn)), math.Abs(float64(mx))))
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	scale := maxAbs / 127
+	q := &Linear{W: make([]int8, in*out), Scale: scale, in: in, out: out}
+	for i, v := range w.Data {
+		r := math.Round(float64(v / scale))
+		if r > 127 {
+			r = 127
+		}
+		if r < -127 {
+			r = -127
+		}
+		q.W[i] = int8(r)
+	}
+	if l.B != nil {
+		q.Bias = append([]float32(nil), l.B.Value.Data...)
+	}
+	return q
+}
+
+// Forward computes x·Wq (+ b) for x [N, in], quantizing the activations
+// per row to int8 and accumulating in int32.
+func (q *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != q.in {
+		panic(fmt.Sprintf("quant.Linear: input %v incompatible with [%d,%d]", x.Shape(), q.in, q.out))
+	}
+	n := x.Dim(0)
+	out := tensor.New(n, q.out)
+	xq := make([]int8, q.in)
+	for r := 0; r < n; r++ {
+		row := x.Row(r)
+		// Per-row activation scale.
+		var maxAbs float32
+		for _, v := range row {
+			if a := float32(math.Abs(float64(v))); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			maxAbs = 1
+		}
+		xs := maxAbs / 127
+		for i, v := range row {
+			rq := math.Round(float64(v / xs))
+			if rq > 127 {
+				rq = 127
+			}
+			if rq < -127 {
+				rq = -127
+			}
+			xq[i] = int8(rq)
+		}
+		deq := xs * q.Scale
+		or := out.Row(r)
+		for c := 0; c < q.out; c++ {
+			var acc int32
+			for i := 0; i < q.in; i++ {
+				acc += int32(xq[i]) * int32(q.W[i*q.out+c])
+			}
+			or[c] = float32(acc) * deq
+			if q.Bias != nil {
+				or[c] += q.Bias[c]
+			}
+		}
+	}
+	return out
+}
+
+// Bytes returns the storage footprint of the quantized layer.
+func (q *Linear) Bytes() int { return len(q.W) + 4*len(q.Bias) + 4 }
+
+// MaxAbsError returns the maximum elementwise output deviation between
+// the quantized layer and its float reference over the given inputs,
+// for accuracy-budget validation.
+func (q *Linear) MaxAbsError(ref *nn.Linear, x *tensor.Tensor) float32 {
+	a := q.Forward(x)
+	b := ref.Forward(x, false)
+	var worst float32
+	for i := range a.Data {
+		if d := float32(math.Abs(float64(a.Data[i] - b.Data[i]))); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,112 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestQuantizedLinearTracksFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := nn.NewLinear(rng, "fc", 64, 32, true)
+	q := QuantizeLinear(l)
+	x := tensor.Randn(rng, 1, 8, 64)
+	ref := l.Forward(x, false)
+	got := q.Forward(x)
+	// Relative error budget: int8 symmetric quantization of weights and
+	// activations bounds per-output error well under 2 % of the output
+	// range for Gaussian data.
+	_, mx := ref.MinMax()
+	mn, _ := ref.MinMax()
+	rangeRef := float64(mx - mn)
+	for i := range ref.Data {
+		if math.Abs(float64(got.Data[i]-ref.Data[i])) > 0.02*rangeRef {
+			t.Fatalf("quantized output diverges at %d: %v vs %v", i, got.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestQuantizedStorageIsQuarter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := nn.NewLinear(rng, "fc", 128, 96, false)
+	q := QuantizeLinear(l)
+	floatBytes := 4 * 128 * 96
+	if q.Bytes() >= floatBytes/3 {
+		t.Fatalf("quantized layer %d B, float %d B — expected ≈4× smaller", q.Bytes(), floatBytes)
+	}
+}
+
+func TestQuantizedWeightsInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := nn.NewLinear(rng, "fc", 16, 16, false)
+	// Inject an outlier to exercise clamping.
+	l.W.Value.Data[0] = 100
+	q := QuantizeLinear(l)
+	for _, w := range q.W {
+		if w < -127 || w > 127 {
+			t.Fatalf("weight %d outside int8 symmetric range", w)
+		}
+	}
+	if q.W[0] != 127 {
+		t.Fatalf("outlier should quantize to 127, got %d", q.W[0])
+	}
+}
+
+func TestQuantizedZeroInputSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := nn.NewLinear(rng, "fc", 8, 4, true)
+	q := QuantizeLinear(l)
+	out := q.Forward(tensor.New(2, 8))
+	if out.HasNaN() {
+		t.Fatal("zero input produced NaN")
+	}
+	// With zero input the output must equal the bias.
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 4; c++ {
+			if out.At(r, c) != l.B.Value.Data[c] {
+				t.Fatal("zero input should pass bias through")
+			}
+		}
+	}
+}
+
+func TestQuantizedForwardPanicsOnBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := QuantizeLinear(nn.NewLinear(rng, "fc", 8, 4, false))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad input accepted")
+		}
+	}()
+	q.Forward(tensor.New(2, 9))
+}
+
+// End-to-end: quantizing the ZSC projection preserves the argmax class
+// ranking on cosine-similarity logits — the deployment claim.
+func TestQuantizedProjectionPreservesRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	proj := nn.NewLinear(rng, "proj", 96, 48, true)
+	q := QuantizeLinear(proj)
+	feats := tensor.Randn(rng, 1, 20, 96)
+	classes := tensor.Rademacher(rng, 10, 48)
+
+	embF := proj.Forward(feats, false)
+	embQ := q.Forward(feats)
+	simF := tensor.CosineSimilarityMatrix(embF, classes)
+	simQ := tensor.CosineSimilarityMatrix(embQ, classes)
+	agree := 0
+	for r := 0; r < 20; r++ {
+		if tensor.ArgMaxRow(simF, r) == tensor.ArgMaxRow(simQ, r) {
+			agree++
+		}
+	}
+	if agree < 19 {
+		t.Fatalf("quantization changed the predicted class for %d/20 queries", 20-agree)
+	}
+	if err := q.MaxAbsError(proj, feats); err > 0.5 {
+		t.Fatalf("max abs error %v too large", err)
+	}
+}

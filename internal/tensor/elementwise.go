@@ -1,0 +1,170 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// binOp applies f elementwise over equal-shaped tensors into a new tensor.
+func binOp(op string, a, b *Tensor, f func(x, y float32) float32) *Tensor {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor.%s: shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+	out := New(a.shape...)
+	for i := range a.Data {
+		out.Data[i] = f(a.Data[i], b.Data[i])
+	}
+	return out
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Tensor) *Tensor { return binOp("Add", a, b, func(x, y float32) float32 { return x + y }) }
+
+// Sub returns a-b elementwise.
+func Sub(a, b *Tensor) *Tensor { return binOp("Sub", a, b, func(x, y float32) float32 { return x - y }) }
+
+// Mul returns a*b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor { return binOp("Mul", a, b, func(x, y float32) float32 { return x * y }) }
+
+// Div returns a/b elementwise.
+func Div(a, b *Tensor) *Tensor { return binOp("Div", a, b, func(x, y float32) float32 { return x / y }) }
+
+// AddInPlace accumulates b into a elementwise and returns a.
+func AddInPlace(a, b *Tensor) *Tensor {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor.AddInPlace: shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+	return a
+}
+
+// Scale returns a*s elementwise in a new tensor.
+func Scale(a *Tensor, s float32) *Tensor {
+	out := New(a.shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element of a by s and returns a.
+func ScaleInPlace(a *Tensor, s float32) *Tensor {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+	return a
+}
+
+// AddScalar returns a+s elementwise in a new tensor.
+func AddScalar(a *Tensor, s float32) *Tensor {
+	out := New(a.shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + s
+	}
+	return out
+}
+
+// Apply returns f applied elementwise in a new tensor.
+func Apply(a *Tensor, f func(float32) float32) *Tensor {
+	out := New(a.shape...)
+	for i := range a.Data {
+		out.Data[i] = f(a.Data[i])
+	}
+	return out
+}
+
+// ApplyInPlace applies f elementwise in place and returns a.
+func ApplyInPlace(a *Tensor, f func(float32) float32) *Tensor {
+	for i := range a.Data {
+		a.Data[i] = f(a.Data[i])
+	}
+	return a
+}
+
+// Sigmoid returns 1/(1+exp(-x)) elementwise.
+func Sigmoid(a *Tensor) *Tensor {
+	return Apply(a, func(x float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	})
+}
+
+// Tanh returns tanh(x) elementwise.
+func Tanh(a *Tensor) *Tensor {
+	return Apply(a, func(x float32) float32 { return float32(math.Tanh(float64(x))) })
+}
+
+// ReLU returns max(0, x) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	return Apply(a, func(x float32) float32 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// Sign returns -1, 0, or +1 elementwise; used to bipolarize bundled
+// hypervector sums on the real-valued side.
+func Sign(a *Tensor) *Tensor {
+	return Apply(a, func(x float32) float32 {
+		switch {
+		case x > 0:
+			return 1
+		case x < 0:
+			return -1
+		default:
+			return 0
+		}
+	})
+}
+
+// Clamp limits every element to [lo, hi].
+func Clamp(a *Tensor, lo, hi float32) *Tensor {
+	return Apply(a, func(x float32) float32 {
+		if x < lo {
+			return lo
+		}
+		if x > hi {
+			return hi
+		}
+		return x
+	})
+}
+
+// AddRowVector adds a length-cols vector v to every row of the 2-D tensor a
+// (broadcast over rows), returning a new tensor. Used for bias addition.
+func AddRowVector(a *Tensor, v *Tensor) *Tensor {
+	if a.Rank() != 2 || v.Rank() != 1 || a.Dim(1) != v.Dim(0) {
+		panic(fmt.Sprintf("tensor.AddRowVector: shapes %v and %v incompatible", a.shape, v.shape))
+	}
+	out := New(a.shape...)
+	rows, cols := a.Dim(0), a.Dim(1)
+	for r := 0; r < rows; r++ {
+		ar := a.Data[r*cols : (r+1)*cols]
+		or := out.Data[r*cols : (r+1)*cols]
+		for c := 0; c < cols; c++ {
+			or[c] = ar[c] + v.Data[c]
+		}
+	}
+	return out
+}
+
+// MulRowVector multiplies every row of the 2-D tensor a by a length-cols
+// vector v (broadcast over rows), returning a new tensor.
+func MulRowVector(a *Tensor, v *Tensor) *Tensor {
+	if a.Rank() != 2 || v.Rank() != 1 || a.Dim(1) != v.Dim(0) {
+		panic(fmt.Sprintf("tensor.MulRowVector: shapes %v and %v incompatible", a.shape, v.shape))
+	}
+	out := New(a.shape...)
+	rows, cols := a.Dim(0), a.Dim(1)
+	for r := 0; r < rows; r++ {
+		ar := a.Data[r*cols : (r+1)*cols]
+		or := out.Data[r*cols : (r+1)*cols]
+		for c := 0; c < cols; c++ {
+			or[c] = ar[c] * v.Data[c]
+		}
+	}
+	return out
+}

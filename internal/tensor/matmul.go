@@ -1,0 +1,160 @@
+package tensor
+
+import "fmt"
+
+// blockSize is the cache-blocking tile edge used by MatMul. 64 float32
+// rows/cols keeps three tiles comfortably inside L1/L2 on commodity CPUs.
+const blockSize = 64
+
+// MatMul computes the 2-D matrix product a[m,k] × b[k,n] → [m,n] using an
+// i-k-j loop order with cache blocking so the inner loop streams both the
+// b row and the output row.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor.MatMul: want rank-2 operands, have %v and %v", a.shape, b.shape))
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor.MatMul: inner dimensions differ: %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matmulInto(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+// matmulInto computes dst += A×B where dst is pre-zeroed (or accumulates
+// into existing contents for callers that want fused accumulation).
+func matmulInto(dst, a, b []float32, m, k, n int) {
+	for i0 := 0; i0 < m; i0 += blockSize {
+		iMax := min(i0+blockSize, m)
+		for k0 := 0; k0 < k; k0 += blockSize {
+			kMax := min(k0+blockSize, k)
+			for i := i0; i < iMax; i++ {
+				di := dst[i*n : (i+1)*n]
+				ai := a[i*k : (i+1)*k]
+				for p := k0; p < kMax; p++ {
+					av := ai[p]
+					if av == 0 {
+						continue
+					}
+					bp := b[p*n : (p+1)*n]
+					for j := range di {
+						di[j] += av * bp[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulT computes a[m,k] × bᵀ where b is [n,k], i.e. the product against
+// the transpose without materializing it. This is the natural layout for
+// cosine-similarity kernels (rows of b are class/attribute embeddings) and
+// for the backward pass of Linear layers.
+func MatMulT(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor.MatMulT: want rank-2 operands, have %v and %v", a.shape, b.shape))
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	n, k2 := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor.MatMulT: inner dimensions differ: %v × %vᵀ", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		oi := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p := range ai {
+				s += ai[p] * bj[p]
+			}
+			oi[j] = s
+		}
+	}
+	return out
+}
+
+// TMatMul computes aᵀ × b where a is [k,m] and b is [k,n] → [m,n], i.e.
+// the product of the transpose of a against b without materializing aᵀ.
+// This is the weight-gradient shape in Linear backward (xᵀ·dy).
+func TMatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor.TMatMul: want rank-2 operands, have %v and %v", a.shape, b.shape))
+	}
+	k, m := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor.TMatMul: leading dimensions differ: %vᵀ × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := ap[i]
+			if av == 0 {
+				continue
+			}
+			oi := out.Data[i*n : (i+1)*n]
+			for j := range bp {
+				oi[j] += av * bp[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor.Transpose2D: want rank 2, have %v", a.shape))
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// MatVec computes the matrix-vector product a[m,k] × v[k] → [m].
+func MatVec(a, v *Tensor) *Tensor {
+	if a.Rank() != 2 || v.Rank() != 1 || a.Dim(1) != v.Dim(0) {
+		panic(fmt.Sprintf("tensor.MatVec: shapes %v and %v incompatible", a.shape, v.shape))
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	out := New(m)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		var s float32
+		for p := range ai {
+			s += ai[p] * v.Data[p]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length rank-1 tensors.
+func Dot(a, b *Tensor) float32 {
+	if a.Rank() != 1 || b.Rank() != 1 || a.Dim(0) != b.Dim(0) {
+		panic(fmt.Sprintf("tensor.Dot: shapes %v and %v incompatible", a.shape, b.shape))
+	}
+	var s float32
+	for i := range a.Data {
+		s += a.Data[i] * b.Data[i]
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

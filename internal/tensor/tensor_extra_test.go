@@ -1,0 +1,239 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromSliceCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice accepted wrong element count")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestRowPanicsOnNon2D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Row accepted rank-3 tensor")
+		}
+	}()
+	New(2, 2, 2).Row(0)
+}
+
+func TestFillZeroCopyFrom(t *testing.T) {
+	a := New(2, 2)
+	a.Fill(3)
+	for _, v := range a.Data {
+		if v != 3 {
+			t.Fatal("Fill failed")
+		}
+	}
+	a.Zero()
+	if a.Sum() != 0 {
+		t.Fatal("Zero failed")
+	}
+	b := Full(7, 2, 2)
+	a.CopyFrom(b)
+	if a.At(1, 1) != 7 {
+		t.Fatal("CopyFrom failed")
+	}
+}
+
+func TestCopyFromShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom accepted mismatched shapes")
+		}
+	}()
+	New(2, 2).CopyFrom(New(4))
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := FromSlice([]float32{1, 2}, 2)
+	if s := small.String(); s == "" {
+		t.Fatal("empty String for small tensor")
+	}
+	rng := rand.New(rand.NewSource(1))
+	large := Randn(rng, 1, 10, 10)
+	if s := large.String(); s == "" {
+		t.Fatal("empty String for large tensor")
+	}
+}
+
+func TestApplyFunctions(t *testing.T) {
+	a := FromSlice([]float32{-1, 0, 1}, 3)
+	sg := Sigmoid(a)
+	if math.Abs(float64(sg.Data[1])-0.5) > 1e-6 {
+		t.Fatalf("sigmoid(0) = %v", sg.Data[1])
+	}
+	if sg.Data[0]+sg.Data[2] < 0.999 || sg.Data[0]+sg.Data[2] > 1.001 {
+		t.Fatal("sigmoid symmetry broken")
+	}
+	th := Tanh(a)
+	if th.Data[1] != 0 || th.Data[0] != -th.Data[2] {
+		t.Fatalf("tanh values wrong: %v", th.Data)
+	}
+	r := ReLU(a)
+	if r.Data[0] != 0 || r.Data[2] != 1 {
+		t.Fatalf("relu values wrong: %v", r.Data)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{10, 20}, 2)
+	AddInPlace(a, b)
+	if a.Data[1] != 22 {
+		t.Fatalf("AddInPlace wrong: %v", a.Data)
+	}
+	ScaleInPlace(a, 0.5)
+	if a.Data[0] != 5.5 {
+		t.Fatalf("ScaleInPlace wrong: %v", a.Data)
+	}
+	ApplyInPlace(a, func(x float32) float32 { return -x })
+	if a.Data[0] != -5.5 {
+		t.Fatal("ApplyInPlace wrong")
+	}
+	c := AddScalar(a, 1)
+	if c.Data[0] != -4.5 {
+		t.Fatal("AddScalar wrong")
+	}
+}
+
+func TestMulRowVector(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	v := FromSlice([]float32{2, 0, 1}, 3)
+	got := MulRowVector(a, v)
+	want := []float32{2, 0, 3, 8, 0, 6}
+	for i := range want {
+		if got.Data[i] != want[i] {
+			t.Fatalf("MulRowVector[%d] = %v, want %v", i, got.Data[i], want[i])
+		}
+	}
+}
+
+func TestLogSumExpRow(t *testing.T) {
+	a := FromSlice([]float32{0, 0, 0}, 1, 3)
+	if got := LogSumExpRow(a, 0); math.Abs(float64(got)-math.Log(3)) > 1e-5 {
+		t.Fatalf("LSE = %v, want ln 3", got)
+	}
+	// Stability under large values.
+	b := FromSlice([]float32{1000, 1000}, 1, 2)
+	got := LogSumExpRow(b, 0)
+	if math.IsInf(float64(got), 0) || math.IsNaN(float64(got)) {
+		t.Fatal("LSE overflowed")
+	}
+	if math.Abs(float64(got)-(1000+float32Log2())) > 1e-2 {
+		t.Fatalf("LSE = %v, want 1000+ln2", got)
+	}
+}
+
+func float32Log2() float64 { return math.Log(2) }
+
+func TestAddDiagonalPanicsNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddDiagonal accepted non-square")
+		}
+	}()
+	AddDiagonal(New(2, 3), 1)
+}
+
+func TestFrobeniusNormMatchesNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Randn(rng, 1, 3, 4)
+	if FrobeniusNorm(a) != a.Norm() {
+		t.Fatal("FrobeniusNorm diverges from Norm")
+	}
+}
+
+func TestRowNormsValues(t *testing.T) {
+	a := FromSlice([]float32{3, 4, 0, 0}, 2, 2)
+	n := RowNorms(a)
+	if n.Data[0] != 5 || n.Data[1] != 0 {
+		t.Fatalf("RowNorms wrong: %v", n.Data)
+	}
+}
+
+func TestHeXavierInitScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := HeInit(rng, 100, 100, 100)
+	// Sample std should be near sqrt(2/100) ≈ 0.1414.
+	var s float64
+	for _, v := range h.Data {
+		s += float64(v) * float64(v)
+	}
+	std := math.Sqrt(s / float64(h.Len()))
+	if std < 0.12 || std > 0.17 {
+		t.Fatalf("He init std %v, want ≈0.141", std)
+	}
+	x := XavierInit(rng, 50, 50, 50, 50)
+	bound := math.Sqrt(6.0 / 100)
+	mn, mx := x.MinMax()
+	if float64(mn) < -bound-1e-6 || float64(mx) > bound+1e-6 {
+		t.Fatalf("Xavier init out of bounds: [%v, %v] vs ±%v", mn, mx, bound)
+	}
+}
+
+// Property: softmax is invariant to adding a constant to a row.
+func TestPropertySoftmaxShiftInvariant(t *testing.T) {
+	f := func(seed int64, shift float32) bool {
+		if math.IsNaN(float64(shift)) || math.Abs(float64(shift)) > 100 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := Randn(rng, 1, 2, 5)
+		b := AddScalar(a, shift)
+		sa, sb := SoftmaxRows(a), SoftmaxRows(b)
+		for i := range sa.Data {
+			if math.Abs(float64(sa.Data[i]-sb.Data[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ‖a‖² equals Dot(a, a) for rank-1 tensors.
+func TestPropertyNormDotConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(32)
+		a := Randn(rng, 1, n)
+		nrm := float64(a.Norm())
+		dot := float64(Dot(a, a))
+		if math.Abs(nrm*nrm-dot) > 1e-3*math.Max(1, dot) {
+			t.Fatalf("‖a‖²=%v vs dot=%v", nrm*nrm, dot)
+		}
+	}
+}
+
+// Property: CholeskySolve and SolveLinear agree on SPD systems.
+func TestPropertySolversAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(6)
+		m := Randn(rng, 1, n, n)
+		a := MatMulT(m, m)
+		AddDiagonal(a, 2)
+		b := Randn(rng, 1, n, 2)
+		x1, err1 := SolveSPD(a.Clone(), b)
+		x2, err2 := SolveLinear(a.Clone(), b)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("solver errors: %v %v", err1, err2)
+		}
+		for i := range x1.Data {
+			if math.Abs(float64(x1.Data[i]-x2.Data[i])) > 1e-2 {
+				t.Fatalf("solvers disagree at %d: %v vs %v", i, x1.Data[i], x2.Data[i])
+			}
+		}
+	}
+}
