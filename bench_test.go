@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hdc"
 	"repro/internal/imc"
+	"repro/internal/infer"
 	"repro/internal/tensor"
 )
 
@@ -142,6 +144,65 @@ func BenchmarkDimensionAblation(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + r.Format())
 		}
+	}
+}
+
+// --- Inference-engine benchmarks (internal/infer). ---
+
+func engineBenchSetup(classes, probes, d int) (*hdc.ItemMemory, []*hdc.Binary) {
+	rng := rand.New(rand.NewSource(7))
+	im := hdc.NewItemMemory(d)
+	for c := 0; c < classes; c++ {
+		im.Store(fmt.Sprintf("class%d", c), hdc.NewRandomBinary(rng, d))
+	}
+	batch := make([]*hdc.Binary, probes)
+	for p := range batch {
+		batch[p] = hdc.NewRandomBinary(rng, d)
+	}
+	return im, batch
+}
+
+// BenchmarkItemMemoryPerProbeScan is the pre-engine serving pattern: a
+// sequential ItemMemory.Query per probe, 256 probes × 200 classes at the
+// paper's d=1536. The baseline BenchmarkEngineBatchedQuery is measured
+// against.
+func BenchmarkItemMemoryPerProbeScan(b *testing.B) {
+	im, batch := engineBenchSetup(200, 256, 1536)
+	out := make([]int, len(batch))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p, probe := range batch {
+			_, out[p], _ = im.Query(probe)
+		}
+	}
+}
+
+// BenchmarkEngineBatchedQuery runs the identical workload through the
+// batched inference engine's sharded binary backend: fixed-width fused
+// argmin kernels over the contiguous class slab, one goroutine worker
+// per shard (single-shard on one core; the margin widens with cores).
+func BenchmarkEngineBatchedQuery(b *testing.B) {
+	im, batch := engineBenchSetup(200, 256, 1536)
+	eng := infer.New(infer.NewBinaryBackend(im))
+	probes := infer.PackedBatch(batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Query(probes, 1)
+	}
+}
+
+// BenchmarkEngineFloatBackend measures the reference float cosine path
+// through the same engine seam (the EvalZSC readout), for comparison
+// with the packed path above.
+func BenchmarkEngineFloatBackend(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	const classes, probes, d = 200, 256, 1536
+	phi := tensor.Rademacher(rng, classes, d)
+	x := tensor.Randn(rng, 1, probes, d)
+	eng := infer.New(infer.NewFloatBackend(phi, nil, 0.05))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Query(infer.DenseBatch(x), 1)
 	}
 }
 

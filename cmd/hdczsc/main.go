@@ -13,9 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/hdc"
+	"repro/internal/imc"
+	"repro/internal/infer"
 	"repro/internal/metrics"
 )
 
@@ -34,8 +38,16 @@ func main() {
 		temp     = flag.Float64("temp", 0.05, "initial temperature K")
 		wd       = flag.Float64("wd", 5e-4, "weight decay")
 		seed     = flag.Int64("seed", 1, "master seed")
+		backend  = flag.String("backend", "float", "inference backend for the final evaluation: float (reference cosine), binary (sign-packed XOR+popcount edge path), or imc (analog crossbar with typical PCM non-idealities)")
+		workers  = flag.Int("workers", 0, "inference engine shard workers (0 = NumCPU)")
 	)
 	flag.Parse()
+	switch *backend {
+	case "float", "binary", "imc":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -backend %q (want float, binary, or imc)\n", *backend)
+		os.Exit(2)
+	}
 
 	sc := experiments.Scale{
 		Name: "cli", Classes: *classes, PerClass: *perClass, ImgSize: *imgSize,
@@ -88,8 +100,40 @@ func main() {
 	loss3 := core.TrainZSC(model, d, split, cfg.PhaseIII)
 	fmt.Printf("  final loss: %.4f\n", loss3)
 
-	res := core.EvalZSC(model, d, split)
-	fmt.Printf("\nZero-shot evaluation on %d unseen classes:\n", len(split.TestClasses))
+	// Final readout through the selected inference-engine backend: the
+	// class memory is the model's frozen attribute embeddings, sharded
+	// across engine workers.
+	phi := core.ClassEmbeddings(model, d, split.TestClasses)
+	labels := core.ClassLabels(d, split.TestClasses)
+	var be infer.Backend
+	switch *backend {
+	case "float":
+		be = infer.NewFloatBackend(phi, labels, model.Kernel.Temperature())
+	case "binary":
+		im := hdc.NewItemMemory(phi.Dim(1))
+		for i, v := range infer.PackSign(phi) {
+			im.Store(labels[i], v)
+		}
+		be = infer.NewBinaryBackend(im)
+	case "imc":
+		be = infer.NewCrossbarBackend(phi, labels, model.Kernel.Temperature(), imc.TypicalPCM())
+	}
+	var opts []infer.Option
+	switch {
+	case *workers > 0:
+		opts = append(opts, infer.WithWorkers(*workers))
+	case *backend == "imc":
+		// Pin the default tile layout: shard boundaries determine the
+		// analog noise draws, so leaving them at NumCPU would print
+		// different accuracies on machines with different core counts.
+		opts = append(opts, infer.WithWorkers(4))
+	}
+	eng := infer.New(be, opts...)
+	start := time.Now()
+	res := core.EvalZSCWithEngine(model, d, split, eng)
+	evalDur := time.Since(start)
+	fmt.Printf("\nZero-shot evaluation on %d unseen classes (backend %q, %d shard workers, %.0f ms):\n",
+		len(split.TestClasses), be.Name(), eng.Workers(), evalDur.Seconds()*1000)
 	fmt.Printf("  top-1: %.1f%%   top-5: %.1f%%   (chance: %.1f%%)\n",
 		res.Top1*100, res.Top5*100, 100.0/float64(len(split.TestClasses)))
 	fmt.Printf("  trainable parameters: %d (%s attribute encoder)\n",

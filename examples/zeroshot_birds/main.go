@@ -10,6 +10,8 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/imc"
+	"repro/internal/infer"
 	"repro/internal/nn"
 )
 
@@ -36,9 +38,23 @@ func main() {
 	pipe.PhaseII.Epochs = 10
 	pipe.PhaseIII.Epochs = 10
 	fmt.Println("\ntraining HDC-ZSC (phase I: classification, II: attributes, III: ZSC)…")
-	_, ours := pipe.Run(d, split, pre)
+	model, ours := pipe.Run(d, split, pre)
 	fmt.Printf("  HDC-ZSC   top-1 %.1f%%  top-5 %.1f%%  params %d\n",
 		ours.Eval.Top1*100, ours.Eval.Top5*100, ours.ParamCount)
+
+	// Re-run the readout through the analog-crossbar backend of the
+	// inference engine: the same frozen class embeddings programmed into
+	// per-shard PCM tiles with typical non-idealities — the §V deployment
+	// outlook. HDC's claim is that accuracy survives the analog noise.
+	phi := core.ClassEmbeddings(model, d, split.TestClasses)
+	labels := core.ClassLabels(d, split.TestClasses)
+	// Workers are pinned: the shard layout fixes the tile boundaries and
+	// hence the noise draws, so the printed numbers reproduce across
+	// machines with different core counts.
+	xbar := infer.NewCrossbarBackend(phi, labels, model.Kernel.Temperature(), imc.TypicalPCM())
+	noisy := core.EvalZSCWithEngine(model, d, split, infer.New(xbar, infer.WithWorkers(4)))
+	fmt.Printf("  …on noisy PCM crossbar tiles: top-1 %.1f%%  top-5 %.1f%%  (Δtop-1 %+.1f)\n",
+		noisy.Top1*100, noisy.Top5*100, (noisy.Top1-ours.Eval.Top1)*100)
 
 	// --- ESZSL on the same pre-trained features. ---
 	fmt.Println("training ESZSL (closed-form bilinear compatibility) on phase-I features…")

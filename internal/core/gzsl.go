@@ -3,7 +3,6 @@ package core
 import (
 	"repro/internal/dataset"
 	"repro/internal/metrics"
-	"repro/internal/tensor"
 )
 
 // Generalized zero-shot evaluation (GZSL), the harder protocol of Xian
@@ -30,36 +29,19 @@ type GZSLResult struct {
 // lists held-out instances of training classes (pass a slice of training
 // instances not used for fine-tuning, or training instances themselves
 // for a ceiling estimate). The candidate set is seen ∪ unseen classes in
-// that order.
+// that order. Both populations score through one batched inference
+// engine over the union-class float backend.
 func EvalGZSL(m *Model, d *dataset.SynthCUB, split dataset.Split, seenHold []int) GZSLResult {
 	classes := append(append([]int(nil), split.TrainClasses...), split.TestClasses...)
-	attr := d.ClassAttrRows(classes)
+	eng := inferEngine(m, d, classes)
 	labelOf := dataset.ClassIndexMap(classes)
-
-	score := func(idx []int) (*tensor.Tensor, []int) {
-		scores := tensor.New(len(idx), len(classes))
-		labels := make([]int, len(idx))
-		const batch = 32
-		for at := 0; at < len(idx); at += batch {
-			end := minInt(at+batch, len(idx))
-			b := d.MakeBatch(idx[at:end], labelOf, nil, nil)
-			logits := m.Logits(b.Images, attr, false)
-			for i := 0; i < end-at; i++ {
-				copy(scores.Row(at+i), logits.Row(i))
-				labels[at+i] = b.Labels[i]
-			}
-		}
-		return scores, labels
-	}
 
 	var res GZSLResult
 	if len(seenHold) > 0 {
-		s, l := score(seenHold)
-		res.SeenAcc = metrics.Top1Accuracy(s, l)
+		res.SeenAcc, _ = engineAccuracy(m, d, eng, seenHold, labelOf, 1)
 	}
 	if len(split.Test) > 0 {
-		s, l := score(split.Test)
-		res.UnseenAcc = metrics.Top1Accuracy(s, l)
+		res.UnseenAcc, _ = engineAccuracy(m, d, eng, split.Test, labelOf, 1)
 	}
 	res.Harmonic = metrics.HarmonicMean(res.SeenAcc, res.UnseenAcc)
 	return res

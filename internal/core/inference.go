@@ -1,0 +1,87 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/infer"
+	"repro/internal/tensor"
+)
+
+// This file is the bridge between the trained model and the batched
+// inference engine (internal/infer): evaluation builds a Backend from the
+// model's frozen attribute embeddings and streams image embeddings
+// through the engine's sharded readout. EvalZSC/EvalGZSL use the float
+// reference backend; EvalZSCWithEngine accepts any engine (the packed
+// XOR+popcount edge path, the analog crossbar), which is how cmd/hdczsc
+// exposes backend selection.
+
+// inferEngine builds a sharded float-backend engine over the model's
+// frozen attribute embeddings for the given candidate classes — the
+// evaluation-time readout path.
+func inferEngine(m *Model, d *dataset.SynthCUB, classes []int) *infer.Engine {
+	return infer.New(infer.NewFloatBackend(
+		ClassEmbeddings(m, d, classes), ClassLabels(d, classes), m.Kernel.Temperature()))
+}
+
+// ClassEmbeddings returns the frozen attribute embeddings ϕ(A) [C, d]
+// for the given candidate classes: the class memory every inference
+// backend is built from.
+func ClassEmbeddings(m *Model, d *dataset.SynthCUB, classes []int) *tensor.Tensor {
+	return m.Attr.Encode(d.ClassAttrRows(classes), false)
+}
+
+// ClassLabels returns the display labels of the given classes.
+func ClassLabels(d *dataset.SynthCUB, classes []int) []string {
+	labels := make([]string, len(classes))
+	for i, c := range classes {
+		labels[i] = d.ClassNames[c]
+	}
+	return labels
+}
+
+// EvalZSCWithEngine evaluates like EvalZSC but routes the readout
+// through the supplied engine — over the packed-binary edge path or the
+// analog crossbar instead of the float reference. The caller builds the
+// engine's backend from this model's frozen class embeddings (see
+// ClassEmbeddings); backend class indices are positions in
+// split.TestClasses.
+func EvalZSCWithEngine(m *Model, d *dataset.SynthCUB, split dataset.Split, eng *infer.Engine) ZSCResult {
+	k := 5
+	if n := len(split.TestClasses); n < k {
+		k = n
+	}
+	top1, topk := engineAccuracy(m, d, eng, split.Test, dataset.ClassIndexMap(split.TestClasses), k)
+	return ZSCResult{Top1: top1, Top5: topk}
+}
+
+// engineAccuracy embeds the given instances in batches, queries the
+// engine for top-k, and returns top-1 and top-k accuracy. Probes are
+// offered dense; binary backends sign-pack them lazily via
+// Batch.SignPacked, so the float/crossbar paths never pay the packing
+// cost.
+func engineAccuracy(m *Model, d *dataset.SynthCUB, eng *infer.Engine,
+	idx []int, labelOf map[int]int, k int) (top1, topk float64) {
+
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	const batchSize = 32
+	var hit1, hitK int
+	for at := 0; at < len(idx); at += batchSize {
+		end := minInt(at+batchSize, len(idx))
+		batch := d.MakeBatch(idx[at:end], labelOf, nil, nil)
+		emb := m.Image.Forward(batch.Images, false)
+		for i, r := range eng.Query(infer.DenseBatch(emb), k) {
+			want := batch.Labels[i]
+			if r.TopK[0].Class == want {
+				hit1++
+			}
+			for _, h := range r.TopK {
+				if h.Class == want {
+					hitK++
+					break
+				}
+			}
+		}
+	}
+	return float64(hit1) / float64(len(idx)), float64(hitK) / float64(len(idx))
+}

@@ -277,31 +277,19 @@ type ZSCResult struct {
 }
 
 // EvalZSC evaluates the model on the split's *unseen* test classes:
-// logits against the test-class attribute matrix, top-1/top-5 accuracy
-// against test labels. All weights stationary (Fig. 3).
+// top-1/top-5 accuracy against test labels with all weights stationary
+// (Fig. 3). The readout routes through the batched inference engine
+// (internal/infer): the frozen class embeddings ϕ(A_test) become a float
+// backend sharded across workers, and images are scored in embedding
+// batches.
 func EvalZSC(m *Model, d *dataset.SynthCUB, split dataset.Split) ZSCResult {
-	labelOf := dataset.ClassIndexMap(split.TestClasses)
-	testAttr := d.ClassAttrRows(split.TestClasses)
-	batchSize := 32
-	nClasses := len(split.TestClasses)
-	scores := tensor.New(len(split.Test), nClasses)
-	labels := make([]int, len(split.Test))
-	for at := 0; at < len(split.Test); at += batchSize {
-		end := minInt(at+batchSize, len(split.Test))
-		batch := d.MakeBatch(split.Test[at:end], labelOf, nil, nil)
-		logits := m.Logits(batch.Images, testAttr, false)
-		for i := 0; i < end-at; i++ {
-			copy(scores.Row(at+i), logits.Row(i))
-			labels[at+i] = batch.Labels[i]
-		}
-	}
-	res := ZSCResult{Top1: metrics.Top1Accuracy(scores, labels)}
+	eng := inferEngine(m, d, split.TestClasses)
 	k := 5
-	if nClasses < k {
-		k = nClasses
+	if n := len(split.TestClasses); n < k {
+		k = n
 	}
-	res.Top5 = metrics.TopKAccuracy(scores, labels, k)
-	return res
+	top1, topk := engineAccuracy(m, d, eng, split.Test, dataset.ClassIndexMap(split.TestClasses), k)
+	return ZSCResult{Top1: top1, Top5: topk}
 }
 
 // AttributeScores runs the image encoder over the given instances and

@@ -77,12 +77,20 @@ func (b *Binary) Clone() *Binary {
 
 // Xor computes the binding b ⊙ o as bitwise XOR into a new vector.
 func (b *Binary) Xor(o *Binary) *Binary {
-	checkDims("Binary.Xor", b.dim, o.dim)
 	out := NewBinary(b.dim)
-	for i := range b.words {
-		out.words[i] = b.words[i] ^ o.words[i]
-	}
+	b.XorInto(o, out)
 	return out
+}
+
+// XorInto computes the binding b ⊙ o into dst without allocating. dst may
+// alias b or o. This is the buffer-reuse kernel the batched inference
+// engine (internal/infer) binds with on its hot path.
+func (b *Binary) XorInto(o, dst *Binary) {
+	checkDims("Binary.XorInto", b.dim, o.dim)
+	checkDims("Binary.XorInto", b.dim, dst.dim)
+	for i := range b.words {
+		dst.words[i] = b.words[i] ^ o.words[i]
+	}
 }
 
 // Hamming returns the number of differing components via popcount.
@@ -108,16 +116,56 @@ func (b *Binary) Cosine(o *Binary) float64 {
 	return 1 - 2*b.NormalizedHamming(o)
 }
 
-// Permute rotates components by k positions (bit-level rotation across the
-// packed words), the ρ operation.
+// Permute rotates components by k positions, the ρ operation.
 func (b *Binary) Permute(k int) *Binary {
 	out := NewBinary(b.dim)
+	b.PermuteInto(k, out)
+	return out
+}
+
+// PermuteInto rotates components by k positions into dst without
+// allocating: component i of b becomes component (i+k) mod d of dst.
+// The rotation works at the word level — the packed vector is treated as
+// a d-bit little-endian integer and rotated left by k via two multiword
+// shifts, O(d/64) word operations instead of O(d) per-bit Bit/SetBit
+// calls. dst must not alias b.
+func (b *Binary) PermuteInto(k int, dst *Binary) {
+	checkDims("Binary.PermuteInto", b.dim, dst.dim)
+	if dst == b {
+		panic("hdc.Binary.PermuteInto: dst must not alias the receiver")
+	}
 	d := b.dim
 	k = ((k % d) + d) % d
-	for i := 0; i < d; i++ {
-		out.SetBit((i+k)%d, b.Bit(i))
+	if k == 0 {
+		copy(dst.words, b.words)
+		return
 	}
-	return out
+	w := len(b.words)
+	// Left-shift part: bit i → i+k for i < d−k.
+	sl, bs := k/64, uint(k%64)
+	for j := w - 1; j >= 0; j-- {
+		var v uint64
+		if j-sl >= 0 {
+			v = b.words[j-sl] << bs
+			if bs > 0 && j-sl-1 >= 0 {
+				v |= b.words[j-sl-1] >> (64 - bs)
+			}
+		}
+		dst.words[j] = v
+	}
+	// Right-shift part: bit i → i−(d−k) for i ≥ d−k, i.e. the wrapped
+	// high bits. The tail of the top input word is zero by invariant, so
+	// a plain multiword right shift lands them at the bottom.
+	r := d - k
+	sr, br := r/64, uint(r%64)
+	for j := 0; j+sr < w; j++ {
+		v := b.words[j+sr] >> br
+		if br > 0 && j+sr+1 < w {
+			v |= b.words[j+sr+1] << (64 - br)
+		}
+		dst.words[j] |= v
+	}
+	dst.maskTail()
 }
 
 // ToBipolar expands the packed vector to its bipolar equivalent

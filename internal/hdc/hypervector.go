@@ -78,6 +78,16 @@ func (v Bipolar) Bind(o Bipolar) Bipolar {
 	return out
 }
 
+// BindInto computes v ⊙ o into dst without allocating. dst may alias v
+// or o. Non-allocating counterpart of Bind for buffer-reuse hot paths.
+func (v Bipolar) BindInto(o, dst Bipolar) {
+	checkDims("BindInto", len(v), len(o))
+	checkDims("BindInto", len(v), len(dst))
+	for i := range v {
+		dst[i] = v[i] * o[i]
+	}
+}
+
 // Unbind recovers a ⊘ b. For bipolar vectors binding is self-inverse, so
 // unbinding is the same elementwise multiplication: (a⊙b)⊘b = a.
 func (v Bipolar) Unbind(o Bipolar) Bipolar { return v.Bind(o) }
@@ -85,12 +95,19 @@ func (v Bipolar) Unbind(o Bipolar) Bipolar { return v.Bind(o) }
 // Permute rotates the components of v by k positions (the ρ operation).
 // Permutation preserves quasi-orthogonality and is used to encode order.
 func (v Bipolar) Permute(k int) Bipolar {
+	out := make(Bipolar, len(v))
+	v.PermuteInto(k, out)
+	return out
+}
+
+// PermuteInto rotates v by k positions into dst without allocating.
+// dst must not overlap v.
+func (v Bipolar) PermuteInto(k int, dst Bipolar) {
+	checkDims("PermuteInto", len(v), len(dst))
 	d := len(v)
 	k = ((k % d) + d) % d
-	out := make(Bipolar, d)
-	copy(out, v[d-k:])
-	copy(out[k:], v[:d-k])
-	return out
+	copy(dst, v[d-k:])
+	copy(dst[k:], v[:d-k])
 }
 
 // Cosine returns the cosine similarity between two bipolar vectors,

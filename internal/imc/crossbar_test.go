@@ -189,3 +189,38 @@ func TestMatVecPanicsOnBadInput(t *testing.T) {
 	}()
 	bar.MatVec(tensor.New(4))
 }
+
+// A row-range tile under ideal conditions must reproduce exactly the
+// corresponding logit columns of a full-matrix kernel.
+func TestSimilarityKernelRowsMatchesFullIdeal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const classes, d = 17, 256
+	phi := tensor.Rademacher(rng, classes, d)
+	x := tensor.Randn(rng, 1, 5, d)
+	full := NewSimilarityKernel(phi, 0.5, Ideal()).Logits(x)
+	for _, rng := range [][2]int{{0, 6}, {6, 12}, {12, classes}} {
+		tile := NewSimilarityKernelRows(phi, rng[0], rng[1], 0.5, Ideal())
+		if tile.Rows() != rng[1]-rng[0] {
+			t.Fatalf("tile Rows() = %d, want %d", tile.Rows(), rng[1]-rng[0])
+		}
+		got := tile.Logits(x)
+		for r := 0; r < 5; r++ {
+			for c := rng[0]; c < rng[1]; c++ {
+				if got.At(r, c-rng[0]) != full.At(r, c) {
+					t.Fatalf("tile [%d,%d) logit (%d,%d) = %v, want %v",
+						rng[0], rng[1], r, c, got.At(r, c-rng[0]), full.At(r, c))
+				}
+			}
+		}
+	}
+}
+
+func TestSimilarityKernelRowsBadRangePanics(t *testing.T) {
+	phi := tensor.Rademacher(rand.New(rand.NewSource(1)), 4, 32)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSimilarityKernelRows accepted an empty range")
+		}
+	}()
+	NewSimilarityKernelRows(phi, 2, 2, 1, Ideal())
+}

@@ -1,0 +1,277 @@
+package infer
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hdc"
+	"repro/internal/imc"
+	"repro/internal/tensor"
+)
+
+// checkLabels validates an optional label set against the class count and
+// fills in positional defaults when nil.
+func checkLabels(labels []string, classes int, who string) []string {
+	if labels == nil {
+		labels = make([]string, classes)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("class%d", i)
+		}
+	}
+	if len(labels) != classes {
+		panic(fmt.Sprintf("infer.%s: %d labels for %d classes", who, len(labels), classes))
+	}
+	return labels
+}
+
+// --- Float backend -------------------------------------------------------
+
+// FloatBackend is the reference real-valued path: cosine similarity
+// against a frozen class-embedding matrix, scaled by 1/K — the
+// evaluation-time semantics of core.SimilarityKernel. Dot products
+// accumulate in float32 in row order, matching tensor.MatMulT, so an
+// ideal crossbar built from the same matrix produces bit-identical
+// scores.
+type FloatBackend struct {
+	phi    *tensor.Tensor // [C, d] frozen class embeddings
+	norms  *tensor.Tensor // row norms of phi
+	labels []string
+	k      float32
+}
+
+// NewFloatBackend wraps frozen class embeddings phi [C, d] with optional
+// labels (nil → positional) and temperature k.
+func NewFloatBackend(phi *tensor.Tensor, labels []string, k float32) *FloatBackend {
+	if phi.Rank() != 2 {
+		panic(fmt.Sprintf("infer.NewFloatBackend: want rank-2 phi, have %v", phi.Shape()))
+	}
+	if k <= 0 {
+		panic("infer.NewFloatBackend: temperature must be positive")
+	}
+	return &FloatBackend{
+		phi:    phi,
+		norms:  tensor.RowNorms(phi),
+		labels: checkLabels(labels, phi.Dim(0), "NewFloatBackend"),
+		k:      k,
+	}
+}
+
+func (b *FloatBackend) Name() string       { return "float" }
+func (b *FloatBackend) Classes() int       { return b.phi.Dim(0) }
+func (b *FloatBackend) Dim() int           { return b.phi.Dim(1) }
+func (b *FloatBackend) Label(c int) string { return b.labels[c] }
+
+// ScoreShard computes cos(x_p, phi_c)/K for classes [lo, hi).
+func (b *FloatBackend) ScoreShard(batch *Batch, lo, hi int, out [][]float64) {
+	if batch.Dense == nil {
+		panic("infer.FloatBackend: batch has no dense probes")
+	}
+	x := batch.Dense
+	if x.Dim(1) != b.Dim() {
+		panic(fmt.Sprintf("infer.FloatBackend: probe dim %d, class memory dim %d", x.Dim(1), b.Dim()))
+	}
+	xn := batch.DenseNorms()
+	for p := 0; p < x.Dim(0); p++ {
+		xrow := x.Row(p)
+		op := out[p]
+		for c := lo; c < hi; c++ {
+			crow := b.phi.Row(c)
+			var dot float32
+			for i := range xrow {
+				dot += xrow[i] * crow[i]
+			}
+			den := xn.Data[p] * b.norms.Data[c] * b.k
+			if den == 0 {
+				op[c-lo] = 0
+				continue
+			}
+			op[c-lo] = float64(dot / den)
+		}
+	}
+}
+
+// --- Packed-binary backend -----------------------------------------------
+
+// BinaryBackend is the edge path: XOR+popcount Hamming readout over the
+// contiguous slab of an hdc.ItemMemory, with the Hamming distance mapped
+// to its bipolar-cosine equivalent 1 − 2h/d so scores are comparable
+// (and rankings identical, ties included) across backends.
+type BinaryBackend struct {
+	mem  *hdc.ItemMemory
+	pool sync.Pool // *[]int distance scratch, one per in-flight shard
+}
+
+// NewBinaryBackend wraps a populated item memory. Labels come from the
+// memory itself.
+func NewBinaryBackend(mem *hdc.ItemMemory) *BinaryBackend {
+	if mem.Len() == 0 {
+		panic("infer.NewBinaryBackend: empty item memory")
+	}
+	return &BinaryBackend{mem: mem}
+}
+
+func (b *BinaryBackend) Name() string       { return "binary" }
+func (b *BinaryBackend) Classes() int       { return b.mem.Len() }
+func (b *BinaryBackend) Dim() int           { return b.mem.Dim() }
+func (b *BinaryBackend) Label(c int) string { return b.mem.Label(c) }
+
+// ScoreShard streams the slab range [lo, hi) per probe through the
+// non-allocating batched kernel ItemMemory.DistancesInto.
+func (b *BinaryBackend) ScoreShard(batch *Batch, lo, hi int, out [][]float64) {
+	probes := batch.SignPacked()
+	if probes == nil {
+		panic("infer.BinaryBackend: batch has no packed or dense probes")
+	}
+	width := hi - lo
+	var dists []int
+	if v := b.pool.Get(); v != nil {
+		dists = *v.(*[]int)
+	}
+	if cap(dists) < width {
+		dists = make([]int, width)
+	}
+	dists = dists[:width]
+	invD := 1 / float64(b.mem.Dim())
+	for p, probe := range probes {
+		b.mem.DistancesInto(probe, lo, hi, dists)
+		op := out[p]
+		for j, h := range dists {
+			op[j] = 1 - 2*float64(h)*invD
+		}
+	}
+	b.pool.Put(&dists)
+}
+
+// SelectShard is the fused ShardSelector fast path: score and select in
+// one pass over the slab, never materializing the float64 score matrix.
+// Top-1 queries run the single-pass fused argmin kernel; larger k reuses
+// the pooled integer distance buffer.
+func (b *BinaryBackend) SelectShard(batch *Batch, lo, hi, k int, cands []Hit) int {
+	probes := batch.SignPacked()
+	if probes == nil {
+		panic("infer.BinaryBackend: batch has no packed or dense probes")
+	}
+	width := hi - lo
+	kk := k
+	if kk > width {
+		kk = width
+	}
+	invD := 1 / float64(b.mem.Dim())
+	if kk == 1 {
+		for p, probe := range probes {
+			idx, dist := b.mem.NearestInRange(probe, lo, hi)
+			cands[p*k] = Hit{Class: idx, Score: 1 - 2*float64(dist)*invD}
+		}
+		return 1
+	}
+	var dists []int
+	if v := b.pool.Get(); v != nil {
+		dists = *v.(*[]int)
+	}
+	if cap(dists) < width {
+		dists = make([]int, width)
+	}
+	dists = dists[:width]
+	for p, probe := range probes {
+		b.mem.DistancesInto(probe, lo, hi, dists)
+		selectTopKDist(dists, lo, invD, cands[p*k:p*k+kk])
+	}
+	b.pool.Put(&dists)
+	return kk
+}
+
+// selectTopKDist mirrors selectTopK over integer Hamming distances,
+// mapping each to its bipolar-cosine score inline (monotone decreasing
+// in distance, so ordering and tie-breaking match the generic path
+// exactly).
+func selectTopKDist(dists []int, lo int, invD float64, dst []Hit) {
+	k := len(dst)
+	count := 0
+	for j, h := range dists {
+		sc := 1 - 2*float64(h)*invD
+		if count == k && sc <= dst[count-1].Score {
+			continue
+		}
+		pos := count
+		if pos == k {
+			pos = k - 1
+		}
+		for pos > 0 && dst[pos-1].Score < sc {
+			pos--
+		}
+		if count < k {
+			count++
+		}
+		copy(dst[pos+1:count], dst[pos:count-1])
+		dst[pos] = Hit{Class: lo + j, Score: sc}
+	}
+}
+
+// --- IMC crossbar backend ------------------------------------------------
+
+// CrossbarBackend is the analog in-memory-computing path: the class
+// embedding matrix is programmed into one imc crossbar tile per shard
+// (exactly the physical layout of a multi-tile accelerator), and scoring
+// runs the tile's noisy MVM + cosine readout. Tiles are programmed
+// lazily on first use of a shard range and cached, so programming noise
+// is drawn once per tile like real device programming.
+type CrossbarBackend struct {
+	phi    *tensor.Tensor
+	labels []string
+	k      float32
+	cfg    imc.Config
+
+	mu    sync.Mutex
+	tiles map[[2]int]*imc.SimilarityKernel
+}
+
+// NewCrossbarBackend wraps frozen class embeddings phi [C, d] with
+// optional labels, temperature k, and the analog non-ideality config.
+func NewCrossbarBackend(phi *tensor.Tensor, labels []string, k float32, cfg imc.Config) *CrossbarBackend {
+	if phi.Rank() != 2 {
+		panic(fmt.Sprintf("infer.NewCrossbarBackend: want rank-2 phi, have %v", phi.Shape()))
+	}
+	if k <= 0 {
+		panic("infer.NewCrossbarBackend: temperature must be positive")
+	}
+	return &CrossbarBackend{
+		phi:    phi,
+		labels: checkLabels(labels, phi.Dim(0), "NewCrossbarBackend"),
+		k:      k,
+		cfg:    cfg,
+		tiles:  make(map[[2]int]*imc.SimilarityKernel),
+	}
+}
+
+func (b *CrossbarBackend) Name() string       { return "imc" }
+func (b *CrossbarBackend) Classes() int       { return b.phi.Dim(0) }
+func (b *CrossbarBackend) Dim() int           { return b.phi.Dim(1) }
+func (b *CrossbarBackend) Label(c int) string { return b.labels[c] }
+
+// tile returns (programming on first use) the crossbar tile for [lo, hi).
+func (b *CrossbarBackend) tile(lo, hi int) *imc.SimilarityKernel {
+	key := [2]int{lo, hi}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.tiles[key]
+	if !ok {
+		t = imc.NewSimilarityKernelRows(b.phi, lo, hi, b.k, b.cfg)
+		b.tiles[key] = t
+	}
+	return t
+}
+
+// ScoreShard runs the shard's tile on the dense probes.
+func (b *CrossbarBackend) ScoreShard(batch *Batch, lo, hi int, out [][]float64) {
+	if batch.Dense == nil {
+		panic("infer.CrossbarBackend: batch has no dense probes")
+	}
+	logits := b.tile(lo, hi).Logits(batch.Dense)
+	for p := 0; p < logits.Dim(0); p++ {
+		row := logits.Row(p)
+		op := out[p]
+		for j, v := range row {
+			op[j] = float64(v)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package infer
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Engine executes batched queries against one Backend with the class
+// memory sharded into contiguous ranges, one goroutine worker per shard.
+// Each shard owns a reusable score buffer and produces its local top-k;
+// the engine merges the per-shard candidate lists into globally ordered
+// results. An Engine is cheap to build and holds no probe state, but its
+// scratch buffers make Query unsafe for concurrent use on the same
+// Engine; build one Engine per serving goroutine.
+type Engine struct {
+	backend Backend
+	workers int
+	ranges  [][2]int
+	scratch []*shardScratch
+}
+
+// shardScratch is the per-shard reusable working set: the score matrix
+// rows handed to Backend.ScoreShard and the local top-k candidates.
+type shardScratch struct {
+	flat   []float64   // backing array for scores, n*width
+	scores [][]float64 // row views into flat
+	cands  []Hit       // n*k local candidates, kk valid per probe
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers overrides the worker/shard count (default
+// runtime.NumCPU(), capped at the class count).
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
+// New builds an engine over backend. The class memory is split into
+// `workers` contiguous shards of near-equal width.
+func New(backend Backend, opts ...Option) *Engine {
+	e := &Engine{backend: backend, workers: runtime.NumCPU()}
+	for _, opt := range opts {
+		opt(e)
+	}
+	c := backend.Classes()
+	if c <= 0 {
+		panic("infer.New: backend holds no classes")
+	}
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	if e.workers > c {
+		e.workers = c
+	}
+	// Near-equal contiguous ranges: the first (c % workers) shards get one
+	// extra class.
+	base, extra := c/e.workers, c%e.workers
+	lo := 0
+	for i := 0; i < e.workers; i++ {
+		w := base
+		if i < extra {
+			w++
+		}
+		e.ranges = append(e.ranges, [2]int{lo, lo + w})
+		lo += w
+	}
+	e.scratch = make([]*shardScratch, e.workers)
+	for i := range e.scratch {
+		e.scratch[i] = &shardScratch{}
+	}
+	return e
+}
+
+// Backend returns the engine's backend.
+func (e *Engine) Backend() Backend { return e.backend }
+
+// Workers returns the number of shard workers.
+func (e *Engine) Workers() int { return e.workers }
+
+// ShardSelector is an optional fast path a Backend may implement to fuse
+// scoring and top-k selection into one pass over a shard, skipping the
+// generic float64 score buffer. SelectShard must write, for each probe p,
+// its best min(k, hi-lo) hits into cands[p*k : p*k+kk] ordered exactly
+// like the generic path (descending score, ties by ascending class
+// index) and return kk. The engine uses it transparently when present.
+type ShardSelector interface {
+	SelectShard(batch *Batch, lo, hi, k int, cands []Hit) int
+}
+
+// Query scores every probe in batch against the full class memory and
+// returns, per probe, the top-k classes in descending score order (ties
+// by ascending class index). k is clamped to the class count.
+func (e *Engine) Query(batch *Batch, k int) []Result {
+	n := batch.Len()
+	if n == 0 {
+		return nil
+	}
+	if k <= 0 {
+		panic(fmt.Sprintf("infer.Engine.Query: non-positive k=%d", k))
+	}
+	if c := e.backend.Classes(); k > c {
+		k = c
+	}
+
+	// Phase 1: shard workers score their class range and keep local top-k.
+	counts := make([]int, e.workers) // valid candidates per probe, per shard
+	if e.workers == 1 {
+		counts[0] = e.runShard(0, batch, k)
+	} else {
+		var wg sync.WaitGroup
+		for si := range e.ranges {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				counts[si] = e.runShard(si, batch, k)
+			}(si)
+		}
+		wg.Wait()
+	}
+
+	// Phase 2: merge per-shard candidates into global top-k per probe.
+	// One backing allocation serves every result's TopK slice.
+	results := make([]Result, n)
+	backing := make([]Hit, n*k)
+	merged := make([]Hit, 0, e.workers*k)
+	for p := 0; p < n; p++ {
+		top := backing[p*k : (p+1)*k : (p+1)*k]
+		if e.workers == 1 {
+			// Single shard: its candidate list is already the global order.
+			copy(top, e.scratch[0].cands[p*k:p*k+k])
+		} else {
+			merged = merged[:0]
+			for si := range e.ranges {
+				merged = append(merged, e.scratch[si].cands[p*k:p*k+counts[si]]...)
+			}
+			sort.Slice(merged, func(a, b int) bool {
+				if merged[a].Score != merged[b].Score {
+					return merged[a].Score > merged[b].Score
+				}
+				return merged[a].Class < merged[b].Class
+			})
+			copy(top, merged[:k])
+		}
+		for i := range top {
+			top[i].Label = e.backend.Label(top[i].Class)
+		}
+		results[p] = Result{TopK: top}
+	}
+	return results
+}
+
+// Predict returns the top-1 class index per probe.
+func (e *Engine) Predict(batch *Batch) []int {
+	res := e.Query(batch, 1)
+	out := make([]int, len(res))
+	for i, r := range res {
+		out[i] = r.TopK[0].Class
+	}
+	return out
+}
+
+// runShard scores shard si and fills its local candidate buffer; it
+// returns the number of valid candidates per probe (min(k, shard width)).
+func (e *Engine) runShard(si int, batch *Batch, k int) int {
+	lo, hi := e.ranges[si][0], e.ranges[si][1]
+	width := hi - lo
+	n := batch.Len()
+	s := e.scratch[si]
+
+	if cap(s.cands) < n*k {
+		s.cands = make([]Hit, n*k)
+	}
+	s.cands = s.cands[:n*k]
+
+	// Fused fast path: the backend scores and selects in one pass.
+	if sel, ok := e.backend.(ShardSelector); ok {
+		return sel.SelectShard(batch, lo, hi, k, s.cands)
+	}
+
+	// Reuse (or grow) the score buffer.
+	if cap(s.flat) < n*width {
+		s.flat = make([]float64, n*width)
+	}
+	s.flat = s.flat[:n*width]
+	if len(s.scores) != n || (n > 0 && len(s.scores[0]) != width) {
+		if cap(s.scores) < n {
+			s.scores = make([][]float64, n)
+		}
+		s.scores = s.scores[:n]
+		for p := 0; p < n; p++ {
+			s.scores[p] = s.flat[p*width : (p+1)*width]
+		}
+	}
+	e.backend.ScoreShard(batch, lo, hi, s.scores)
+
+	kk := k
+	if kk > width {
+		kk = width
+	}
+	for p := 0; p < n; p++ {
+		selectTopK(s.scores[p], lo, s.cands[p*k:p*k+kk])
+	}
+	return kk
+}
+
+// selectTopK writes the len(dst) best (score, class) pairs of row into
+// dst, sorted by descending score with ties by ascending class index.
+// row[j] is the score of absolute class lo+j. Classes are scanned in
+// ascending order and an incoming score must strictly beat the current
+// worst to enter a full buffer, which preserves lowest-index tie-breaks
+// without comparisons at insert time.
+func selectTopK(row []float64, lo int, dst []Hit) {
+	k := len(dst)
+	count := 0
+	for j, sc := range row {
+		if count == k && sc <= dst[count-1].Score {
+			continue
+		}
+		// Find insertion position: after any existing entry with score ≥ sc
+		// (equal scores keep the earlier, lower-index entry first).
+		pos := count
+		if pos == k {
+			pos = k - 1
+		}
+		for pos > 0 && dst[pos-1].Score < sc {
+			pos--
+		}
+		if count < k {
+			count++
+		}
+		copy(dst[pos+1:count], dst[pos:count-1])
+		dst[pos] = Hit{Class: lo + j, Score: sc}
+	}
+}

@@ -1,0 +1,227 @@
+package infer
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/hdc"
+	"repro/internal/tensor"
+)
+
+// fakeBackend serves a fixed score matrix, for engine-mechanics tests.
+type fakeBackend struct {
+	scores [][]float64 // [C][n] — score of class c for probe p
+	dim    int
+}
+
+func (f *fakeBackend) Name() string       { return "fake" }
+func (f *fakeBackend) Classes() int       { return len(f.scores) }
+func (f *fakeBackend) Dim() int           { return f.dim }
+func (f *fakeBackend) Label(c int) string { return fmt.Sprintf("c%d", c) }
+
+func (f *fakeBackend) ScoreShard(batch *Batch, lo, hi int, out [][]float64) {
+	for p := 0; p < batch.Len(); p++ {
+		for c := lo; c < hi; c++ {
+			out[p][c-lo] = f.scores[c][p]
+		}
+	}
+}
+
+// bruteTopK is the reference ranking: sort all classes by (score desc,
+// class asc) and take k.
+func bruteTopK(scores [][]float64, p, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]][p] != scores[idx[b]][p] {
+			return scores[idx[a]][p] > scores[idx[b]][p]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k]
+}
+
+func fakeSetup(rng *rand.Rand, classes, probes int, dupEvery int) (*fakeBackend, *Batch) {
+	f := &fakeBackend{dim: 4}
+	f.scores = make([][]float64, classes)
+	for c := range f.scores {
+		f.scores[c] = make([]float64, probes)
+		for p := range f.scores[c] {
+			if dupEvery > 0 && c >= dupEvery {
+				// Force exact ties with an earlier class.
+				f.scores[c][p] = f.scores[c-dupEvery][p]
+				continue
+			}
+			f.scores[c][p] = rng.NormFloat64()
+		}
+	}
+	// The fake backend ignores probe content; any batch of the right
+	// length works.
+	return f, DenseBatch(tensor.New(probes, 4))
+}
+
+func TestEngineMatchesBruteForceAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const classes, probes = 103, 17
+	f, batch := fakeSetup(rng, classes, probes, 0)
+	for _, workers := range []int{1, 2, 3, 7, 16, 103, 200} {
+		e := New(f, WithWorkers(workers))
+		for _, k := range []int{1, 3, 103, 1000} {
+			res := e.Query(batch, k)
+			kk := k
+			if kk > classes {
+				kk = classes
+			}
+			for p := 0; p < probes; p++ {
+				want := bruteTopK(f.scores, p, kk)
+				if len(res[p].TopK) != kk {
+					t.Fatalf("workers=%d k=%d: got %d hits, want %d", workers, k, len(res[p].TopK), kk)
+				}
+				for i, h := range res[p].TopK {
+					if h.Class != want[i] {
+						t.Fatalf("workers=%d k=%d probe %d rank %d: class %d, want %d",
+							workers, k, p, i, h.Class, want[i])
+					}
+					if h.Score != f.scores[h.Class][p] {
+						t.Fatalf("score mismatch for class %d", h.Class)
+					}
+					if h.Label != fmt.Sprintf("c%d", h.Class) {
+						t.Fatalf("label mismatch: %q", h.Label)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Exact ties must resolve to the lowest class index at every rank, even
+// when the tied classes land in different shards.
+func TestEngineTieBreaksByLowestIndexAcrossShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const classes, probes = 60, 9
+	f, batch := fakeSetup(rng, classes, probes, 13) // ties 13 apart span shards
+	for _, workers := range []int{1, 4, 13, 60} {
+		e := New(f, WithWorkers(workers))
+		res := e.Query(batch, classes)
+		for p := 0; p < probes; p++ {
+			want := bruteTopK(f.scores, p, classes)
+			for i, h := range res[p].TopK {
+				if h.Class != want[i] {
+					t.Fatalf("workers=%d probe %d rank %d: class %d, want %d",
+						workers, p, i, h.Class, want[i])
+				}
+			}
+		}
+	}
+}
+
+// Reusing one engine across queries of different batch sizes must not
+// leak state between calls (the scratch buffers are resized views).
+func TestEngineScratchReuseAcrossBatchSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const classes = 41
+	f, _ := fakeSetup(rng, classes, 32, 0)
+	e := New(f, WithWorkers(4))
+	for _, n := range []int{32, 1, 7, 32, 2} {
+		batch := DenseBatch(tensor.New(n, 4))
+		res := e.Query(batch, 5)
+		if len(res) != n {
+			t.Fatalf("n=%d: got %d results", n, len(res))
+		}
+		for p := 0; p < n; p++ {
+			want := bruteTopK(f.scores, p, 5)
+			for i, h := range res[p].TopK {
+				if h.Class != want[i] {
+					t.Fatalf("n=%d probe %d rank %d: class %d, want %d", n, p, i, h.Class, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEngineEmptyBatchAndBadK(t *testing.T) {
+	f, _ := fakeSetup(rand.New(rand.NewSource(14)), 5, 3, 0)
+	e := New(f)
+	if res := e.Query(PackedBatch(nil), 1); res != nil {
+		t.Fatalf("empty batch returned %v", res)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Query accepted k=0")
+		}
+	}()
+	e.Query(DenseBatch(tensor.New(2, 4)), 0)
+}
+
+func TestEngineBinaryBackendMatchesItemMemoryQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	const d, classes, probes = 512, 37, 29
+	im := hdc.NewItemMemory(d)
+	for c := 0; c < classes; c++ {
+		im.Store(fmt.Sprintf("class%d", c), hdc.NewRandomBinary(rng, d))
+	}
+	probesV := make([]*hdc.Binary, probes)
+	for p := range probesV {
+		probesV[p] = hdc.NewRandomBinary(rng, d)
+	}
+	e := New(NewBinaryBackend(im), WithWorkers(5))
+	res := e.Query(PackedBatch(probesV), 3)
+	for p, probe := range probesV {
+		label, idx, dist := im.Query(probe)
+		top := res[p].TopK[0]
+		if top.Class != idx || top.Label != label {
+			t.Fatalf("probe %d: engine top-1 (%d, %q) vs Query (%d, %q)",
+				p, top.Class, top.Label, idx, label)
+		}
+		wantScore := 1 - 2*float64(dist)/float64(d)
+		if top.Score != wantScore {
+			t.Fatalf("probe %d: score %v, want %v", p, top.Score, wantScore)
+		}
+		wantK := im.QueryTopK(probe, 3)
+		for i, h := range res[p].TopK {
+			if h.Class != wantK[i] {
+				t.Fatalf("probe %d rank %d: class %d, want %d", p, i, h.Class, wantK[i])
+			}
+		}
+	}
+}
+
+// A dense-only batch must work against the binary backend via lazy
+// sign-packing and agree with explicitly packed probes.
+func TestBinaryBackendLazySignPacking(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	const d, classes, probes = 256, 11, 7
+	im := hdc.NewItemMemory(d)
+	for c := 0; c < classes; c++ {
+		im.Store(fmt.Sprintf("class%d", c), hdc.NewRandomBinary(rng, d))
+	}
+	dense := tensor.Randn(rng, 1, probes, d)
+	e := New(NewBinaryBackend(im), WithWorkers(3))
+	fromDense := e.Query(DenseBatch(dense), 2)
+	fromPacked := e.Query(PackedBatch(PackSign(dense)), 2)
+	for p := range fromDense {
+		for i := range fromDense[p].TopK {
+			if fromDense[p].TopK[i] != fromPacked[p].TopK[i] {
+				t.Fatalf("probe %d rank %d: dense-batch hit %+v != packed-batch hit %+v",
+					p, i, fromDense[p].TopK[i], fromPacked[p].TopK[i])
+			}
+		}
+	}
+}
+
+func TestPackSignRoundTrip(t *testing.T) {
+	x := tensor.FromSlice([]float32{0.5, -1, 0, -0.25, 3, -7}, 2, 3)
+	packed := PackSign(x)
+	wantBits := [][]int{{0, 1, 0}, {1, 0, 1}}
+	for p := range packed {
+		for j, w := range wantBits[p] {
+			if packed[p].Bit(j) != w {
+				t.Fatalf("probe %d bit %d = %d, want %d", p, j, packed[p].Bit(j), w)
+			}
+		}
+	}
+}

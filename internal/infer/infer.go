@@ -1,0 +1,154 @@
+// Package infer is the batched inference engine that unifies the
+// repository's three similarity-readout realizations behind one Backend
+// interface:
+//
+//   - FloatBackend: the reference real-valued cosine path, the semantics
+//     of core.SimilarityKernel at evaluation time;
+//   - BinaryBackend: the packed XOR+popcount edge path over a sharded
+//     hdc.ItemMemory slab (the paper's stationary-binary-weights story);
+//   - CrossbarBackend: the analog in-memory-computing path of the §V
+//     outlook, programming one imc crossbar tile per shard.
+//
+// The Engine takes batches of probes, shards the class memory across
+// goroutine workers with reusable score buffers, selects per-shard top-k
+// candidates, and merges them into globally ordered results. Ordering is
+// identical across backends on a frozen model (descending score, ties by
+// ascending class index), which the cross-backend parity tests pin down.
+// Every future scaling feature — result caching, async serving,
+// multi-node sharding — plugs in at this seam.
+package infer
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hdc"
+	"repro/internal/tensor"
+)
+
+// Batch is a set of probes presented to the engine. The two fields are
+// alternative representations of the same probes; a backend reads the one
+// it consumes (FloatBackend/CrossbarBackend need Dense, BinaryBackend
+// needs Packed). Populate both to query heterogeneous backends with one
+// batch.
+type Batch struct {
+	// Dense holds the probe embeddings [n, d] for the real-valued paths.
+	Dense *tensor.Tensor
+	// Packed holds the probes as packed binary hypervectors for the
+	// XOR+popcount path.
+	Packed []*hdc.Binary
+
+	normsOnce sync.Once
+	norms     *tensor.Tensor
+
+	packOnce   sync.Once
+	signPacked []*hdc.Binary
+}
+
+// DenseBatch wraps embeddings [n, d] as a batch for the dense backends.
+func DenseBatch(x *tensor.Tensor) *Batch {
+	if x.Rank() != 2 {
+		panic(fmt.Sprintf("infer.DenseBatch: want rank-2 embeddings, have %v", x.Shape()))
+	}
+	return &Batch{Dense: x}
+}
+
+// PackedBatch wraps packed binary probes as a batch for BinaryBackend.
+func PackedBatch(vs []*hdc.Binary) *Batch { return &Batch{Packed: vs} }
+
+// Len returns the number of probes in the batch.
+func (b *Batch) Len() int {
+	if b.Dense != nil {
+		return b.Dense.Dim(0)
+	}
+	return len(b.Packed)
+}
+
+// DenseNorms returns the L2 norm of each dense probe row, computed once
+// per batch and shared by every shard worker (cosine denominators).
+func (b *Batch) DenseNorms() *tensor.Tensor {
+	b.normsOnce.Do(func() {
+		if b.Dense != nil {
+			b.norms = tensor.RowNorms(b.Dense)
+		}
+	})
+	return b.norms
+}
+
+// SignPacked returns the probes in packed binary form: the explicit
+// Packed field when set, otherwise a sign-packed view of Dense computed
+// once per batch and shared by every shard worker. Dense-only batches
+// therefore work against BinaryBackend without the caller paying the
+// packing cost when no binary backend is in play.
+func (b *Batch) SignPacked() []*hdc.Binary {
+	if b.Packed != nil {
+		return b.Packed
+	}
+	b.packOnce.Do(func() {
+		if b.Dense != nil {
+			b.signPacked = PackSign(b.Dense)
+		}
+	})
+	return b.signPacked
+}
+
+// Backend is one concrete realization of the encode→similarity→readout
+// path: a frozen class memory that can score probes against any
+// contiguous class range. Scores are "higher is better" and must induce
+// the same ranking on every backend built from the same frozen model
+// (see the parity tests).
+type Backend interface {
+	// Name identifies the backend in reports ("float", "binary", "imc").
+	Name() string
+	// Classes returns the number of stored classes.
+	Classes() int
+	// Dim returns the probe dimensionality the backend expects.
+	Dim() int
+	// Label returns the label of class c.
+	Label(c int) string
+	// ScoreShard scores every probe in batch against classes [lo, hi),
+	// writing probe p's score for class c into out[p][c-lo]. out is a
+	// caller-owned buffer of batch.Len() rows of width hi-lo, reused
+	// across calls; implementations must not retain it.
+	ScoreShard(batch *Batch, lo, hi int, out [][]float64)
+}
+
+// Hit is one scored class in a query result.
+type Hit struct {
+	Class int     // class index in the backend's memory
+	Label string  // class label
+	Score float64 // similarity score, higher is better
+}
+
+// Result is the ranked answer for one probe: the top-k hits in
+// descending score order, ties broken by ascending class index.
+type Result struct {
+	TopK []Hit
+}
+
+// Best returns the top-1 hit.
+func (r Result) Best() Hit { return r.TopK[0] }
+
+// PackSign packs dense embeddings [n, d] into binary hypervectors by
+// sign: a non-negative component maps to bipolar +1 (clear bit), a
+// negative one to −1 (set bit). This is the embedding binarization of
+// the edge deployment path, where probes must enter the XOR+popcount
+// readout as packed words.
+func PackSign(x *tensor.Tensor) []*hdc.Binary {
+	if x.Rank() != 2 {
+		panic(fmt.Sprintf("infer.PackSign: want rank-2 embeddings, have %v", x.Shape()))
+	}
+	n, d := x.Dim(0), x.Dim(1)
+	out := make([]*hdc.Binary, n)
+	for i := 0; i < n; i++ {
+		b := hdc.NewBinary(d)
+		row := x.Row(i)
+		for j, v := range row {
+			if v < 0 {
+				b.SetBit(j, 1)
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
