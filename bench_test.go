@@ -1,9 +1,11 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/attrenc"
 	"repro/internal/core"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/hdc"
 	"repro/internal/imc"
 	"repro/internal/infer"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 )
 
@@ -204,6 +207,63 @@ func BenchmarkEngineFloatBackend(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		eng.Query(infer.DenseBatch(x), 1)
 	}
+}
+
+// --- Serving-layer benchmarks (internal/serve). ---
+
+// servingScale is the serving benchmark workload: an ImageNet-class
+// memory (1000 classes) at the paper's d=1536 — the production posture
+// the ROADMAP aims at, where per-probe engine work dominates and the
+// coalescer's per-request overhead must stay in the noise.
+const (
+	servingClasses = 1000
+	servingDim     = 1536
+	servingBatch   = 32
+)
+
+// BenchmarkEngineBatch32RawQuery is the reference the serving layer is
+// measured against: the raw batched path at the coalescer's MaxBatch,
+// 32 probes per Engine.Query. ns/op is per batch; divide by 32 for the
+// per-probe cost compared with BenchmarkServeCoalesced.
+func BenchmarkEngineBatch32RawQuery(b *testing.B) {
+	im, batch := engineBenchSetup(servingClasses, servingBatch, servingDim)
+	eng := infer.New(infer.NewBinaryBackend(im))
+	probes := infer.PackedBatch(batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Query(probes, 1)
+	}
+}
+
+// BenchmarkServeCoalesced drives the micro-batching serving layer with
+// independent single-probe clients (64 concurrent callers per core) over
+// the identical workload. ns/op is per probe: the acceptance bar is
+// ≥ 80% of the per-probe throughput of BenchmarkEngineBatch32RawQuery,
+// i.e. ns/op ≤ raw_ns_per_op/32/0.8. The ratio is logged with -v.
+func BenchmarkServeCoalesced(b *testing.B) {
+	im, batch := engineBenchSetup(servingClasses, 256, servingDim)
+	eng := infer.New(infer.NewBinaryBackend(im))
+	co := serve.NewCoalescer(eng, serve.Config{MaxBatch: servingBatch, MaxDelay: 2 * time.Millisecond})
+	defer co.Close()
+	ctx := context.Background()
+	b.SetParallelism(64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		j := 0
+		for pb.Next() {
+			if _, err := co.Classify(ctx, serve.Probe{Packed: batch[j%len(batch)]}, 1); err != nil {
+				// Fatal would Goexit the wrong goroutine inside RunParallel;
+				// Error is goroutine-safe and still fails the benchmark.
+				b.Error(err)
+				return
+			}
+			j++
+		}
+	})
+	b.StopTimer()
+	s := co.Stats()
+	b.Logf("coalescer: %d requests → %d batches (mean %.1f probes/batch; %d full, %d timer flushes)",
+		s.Requests, s.Batches, s.MeanBatch, s.FullFlushes, s.TimerFlushes)
 }
 
 // BenchmarkIMCRobustness measures the analog-crossbar similarity readout

@@ -1,0 +1,156 @@
+// Command hdcserve runs the HTTP serving layer over the batched
+// inference engine: one process, one frozen HDC-ZSC class memory, three
+// backends served side by side behind micro-batching coalescers.
+//
+//	hdcserve [flags]
+//
+// The class memory is built at startup the way the paper's edge
+// deployment would ship it: bundled class prototypes from the
+// stationary HDC attribute encoder over a SynthCUB class set, realized
+// as float embeddings (reference cosine path), a packed binary item
+// memory (XOR+popcount edge path), and an analog crossbar with typical
+// PCM non-idealities (§V outlook). Each backend gets its own shared
+// concurrency-safe engine and coalescer, registered under its backend
+// name ("float", "binary", "imc").
+//
+// API:
+//
+//	POST /v1/classify  {"model":"binary","k":5,"embedding":[...]}
+//	GET  /healthz
+//	GET  /stats
+//
+// Example:
+//
+//	hdcserve -classes 50 -d 1536 -addr :8080 &
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/classify \
+//	  -d '{"model":"binary","k":3,"embedding":[0.12,-0.7,...]}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/attrenc"
+	"repro/internal/dataset"
+	"repro/internal/hdc"
+	"repro/internal/imc"
+	"repro/internal/infer"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		classes  = flag.Int("classes", 50, "number of classes in the frozen memory")
+		dim      = flag.Int("d", 1536, "hypervector dimensionality")
+		seed     = flag.Int64("seed", 1, "master seed for the synthetic class memory")
+		workers  = flag.Int("workers", 0, "engine shard workers per backend (0 = NumCPU)")
+		maxBatch = flag.Int("max-batch", 32, "coalescer: flush when this many probes are pending")
+		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "coalescer: flush at latest this long after the first pending probe")
+		backends = flag.String("backends", "float,binary,imc", "comma-separated backends to register (float, binary, imc)")
+	)
+	flag.Parse()
+
+	reg, err := buildRegistry(*classes, *dim, *seed, *workers, *backends,
+		serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	log.Printf("hdcserve: %d classes at d=%d, models %v, coalescer max-batch=%d max-delay=%v",
+		*classes, *dim, reg.Names(), *maxBatch, *maxDelay)
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(reg)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("hdcserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		reg.Close() // drain pending probes, then stop the coalescers
+	}()
+
+	log.Printf("hdcserve: listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// buildRegistry freezes one synthetic class memory and registers the
+// requested backends over it, each behind its own coalescer.
+func buildRegistry(classes, dim int, seed int64, workers int, backendList string, cfg serve.Config) (*serve.Registry, error) {
+	rng := rand.New(rand.NewSource(seed))
+	schema := dataset.NewCUBSchema()
+	enc := attrenc.NewHDCEncoder(rng, schema, dim)
+	dcfg := dataset.DefaultConfig()
+	dcfg.NumClasses = classes
+	dcfg.Seed = seed
+	data := dataset.Generate(dcfg)
+
+	labels := make([]string, classes)
+	im := hdc.NewItemMemory(dim)
+	phi := tensor.New(classes, dim)
+	for c := 0; c < classes; c++ {
+		labels[c] = data.ClassNames[c]
+		proto := enc.ClassPrototype(rng, data.ClassAttr.Row(c))
+		im.Store(labels[c], proto)
+		copy(phi.Row(c), proto.ToBipolar().Float32())
+	}
+
+	const temp = 1.0
+	reg := serve.NewRegistry()
+	for _, name := range strings.Split(backendList, ",") {
+		var be infer.Backend
+		var opts []infer.Option
+		if workers > 0 {
+			opts = append(opts, infer.WithWorkers(workers))
+		}
+		switch strings.TrimSpace(name) {
+		case "float":
+			be = infer.NewFloatBackend(phi, labels, temp)
+		case "binary":
+			be = infer.NewBinaryBackend(im)
+		case "imc":
+			be = infer.NewCrossbarBackend(phi, labels, temp, imc.TypicalPCM())
+			if workers <= 0 {
+				// Pin the tile layout so analog noise draws don't depend on
+				// the host's core count (same rationale as cmd/hdczsc).
+				opts = append(opts, infer.WithWorkers(4))
+			}
+		case "":
+			continue
+		default:
+			reg.Close()
+			return nil, fmt.Errorf("unknown backend %q (want float, binary, or imc)", name)
+		}
+		eng, err := infer.NewChecked(be, opts...)
+		if err != nil {
+			reg.Close()
+			return nil, err
+		}
+		if err := reg.Register(be.Name(), serve.NewCoalescer(eng, cfg)); err != nil {
+			reg.Close()
+			return nil, err
+		}
+	}
+	if len(reg.Names()) == 0 {
+		return nil, fmt.Errorf("no backends registered (-backends %q)", backendList)
+	}
+	return reg, nil
+}

@@ -365,3 +365,19 @@ func TestEvalGZSLWithoutSeenHoldout(t *testing.T) {
 		t.Fatal("harmonic must be 0 when one side is missing")
 	}
 }
+
+// A degenerate split with no candidate classes must report zeros cleanly
+// instead of reaching the inference engine with an empty class memory
+// (which would surface as infer.ErrNoClasses / a panic).
+func TestEvalDegenerateEmptySplit(t *testing.T) {
+	d, _ := tinyData(22)
+	cfg := tinyPipeline(22)
+	model, _ := cfg.Build(d.Schema)
+	var empty dataset.Split
+	if res := EvalGZSL(model, d, empty, nil); res != (GZSLResult{}) {
+		t.Fatalf("EvalGZSL on empty split = %+v, want zeros", res)
+	}
+	if res := EvalZSC(model, d, empty); res != (ZSCResult{}) {
+		t.Fatalf("EvalZSC on empty split = %+v, want zeros", res)
+	}
+}

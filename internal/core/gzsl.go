@@ -33,10 +33,19 @@ type GZSLResult struct {
 // engine over the union-class float backend.
 func EvalGZSL(m *Model, d *dataset.SynthCUB, split dataset.Split, seenHold []int) GZSLResult {
 	classes := append(append([]int(nil), split.TrainClasses...), split.TestClasses...)
+	var res GZSLResult
+	// A degenerate split with no candidate classes has nothing to score;
+	// report zeros instead of letting the engine reject an empty class
+	// memory (infer.ErrNoClasses).
+	if len(classes) == 0 {
+		return res
+	}
 	eng := inferEngine(m, d, classes)
 	labelOf := dataset.ClassIndexMap(classes)
 
-	var res GZSLResult
+	// Both populations route through the one shared engine; the readout
+	// inside engineAccuracy fans each population's embedded batches out to
+	// concurrent Engine.Query calls.
 	if len(seenHold) > 0 {
 		res.SeenAcc, _ = engineAccuracy(m, d, eng, seenHold, labelOf, 1)
 	}

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/dataset"
 	"repro/internal/infer"
 	"repro/internal/tensor"
@@ -57,7 +61,17 @@ func EvalZSCWithEngine(m *Model, d *dataset.SynthCUB, split dataset.Split, eng *
 // engine for top-k, and returns top-1 and top-k accuracy. Probes are
 // offered dense; binary backends sign-pack them lazily via
 // Batch.SignPacked, so the float/crossbar paths never pay the packing
-// cost.
+// cost. The embedding stage runs serially — nn layer Forward caches
+// activations for Backward even in eval mode, so the model is not safe
+// to share across goroutines — but the readout fans out: each embedded
+// batch queries the one shared engine on its own goroutine (Engine.Query
+// is safe for concurrent callers since the sync.Pool scratch refactor).
+// In-flight queries are bounded by a semaphore, so only a handful of
+// embedded batches are pinned in memory at a time regardless of the
+// evaluation set size. Backends whose scores depend on query order
+// (the noisy crossbar consumes a per-tile read-noise stream) are
+// queried one at a time instead, so a seeded run prints the same
+// accuracies on every machine.
 func engineAccuracy(m *Model, d *dataset.SynthCUB, eng *infer.Engine,
 	idx []int, labelOf map[int]int, k int) (top1, topk float64) {
 
@@ -65,23 +79,40 @@ func engineAccuracy(m *Model, d *dataset.SynthCUB, eng *infer.Engine,
 		return 0, 0
 	}
 	const batchSize = 32
-	var hit1, hitK int
+	var hit1, hitK atomic.Int64
+	var wg sync.WaitGroup
+	inflight := runtime.NumCPU()
+	if sb, ok := eng.Backend().(interface{ Stochastic() bool }); ok && sb.Stochastic() {
+		inflight = 1 // keep the backend's noise stream in deterministic order
+	}
+	sem := make(chan struct{}, inflight)
 	for at := 0; at < len(idx); at += batchSize {
 		end := minInt(at+batchSize, len(idx))
 		batch := d.MakeBatch(idx[at:end], labelOf, nil, nil)
 		emb := m.Image.Forward(batch.Images, false)
-		for i, r := range eng.Query(infer.DenseBatch(emb), k) {
-			want := batch.Labels[i]
-			if r.TopK[0].Class == want {
-				hit1++
-			}
-			for _, h := range r.TopK {
-				if h.Class == want {
-					hitK++
-					break
+		labels := batch.Labels
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var h1, hK int64
+			for i, r := range eng.Query(infer.DenseBatch(emb), k) {
+				want := labels[i]
+				if r.TopK[0].Class == want {
+					h1++
+				}
+				for _, h := range r.TopK {
+					if h.Class == want {
+						hK++
+						break
+					}
 				}
 			}
-		}
+			hit1.Add(h1)
+			hitK.Add(hK)
+		}()
 	}
-	return float64(hit1) / float64(len(idx)), float64(hitK) / float64(len(idx))
+	wg.Wait()
+	return float64(hit1.Load()) / float64(len(idx)), float64(hitK.Load()) / float64(len(idx))
 }

@@ -283,6 +283,10 @@ type ZSCResult struct {
 // backend sharded across workers, and images are scored in embedding
 // batches.
 func EvalZSC(m *Model, d *dataset.SynthCUB, split dataset.Split) ZSCResult {
+	if len(split.TestClasses) == 0 {
+		// Degenerate split: no candidate classes, nothing to score.
+		return ZSCResult{}
+	}
 	eng := inferEngine(m, d, split.TestClasses)
 	k := 5
 	if n := len(split.TestClasses); n < k {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -51,14 +52,28 @@ func TypicalPCM() Config {
 	return Config{ProgNoise: 0.04, ReadNoise: 0.02, ADCBits: 8, Seed: 1}
 }
 
+// StochasticRead reports whether MVM outputs depend on the order reads
+// are issued: per-MVM read noise consumes a shared per-array stream, so
+// concurrent or reordered reads see different draws. Programming noise
+// does not count — it is fixed at Program time from the config seed,
+// independent of use order.
+func (c Config) StochasticRead() bool { return c.ReadNoise > 0 }
+
 // Crossbar is a weight matrix programmed into a simulated analog array.
 // The programmed (noisy) conductances are drawn once at Program time —
 // exactly like device programming — while read noise is fresh per MVM.
+// A Crossbar is safe for concurrent MVMs: the read-noise stream is the
+// only mutable state and is drawn under a mutex. Sequential callers see
+// a deterministic stream per seed; concurrent callers interleave draws
+// nondeterministically, exactly like concurrent reads of a physical
+// array.
 type Crossbar struct {
 	cfg        Config
 	programmed *tensor.Tensor // [rows, cols] with programming noise baked in
 	scale      float32        // max |w| of the ideal matrix
-	readRng    *rand.Rand
+
+	mu      sync.Mutex // guards readRng
+	readRng *rand.Rand
 }
 
 // Program stores the weight matrix w [rows, cols] into a new crossbar,
@@ -134,9 +149,11 @@ func (c *Crossbar) corrupt(out *tensor.Tensor, x *tensor.Tensor) {
 		return
 	}
 	if c.cfg.ReadNoise > 0 {
+		c.mu.Lock()
 		for i := range out.Data {
 			out.Data[i] += float32(c.readRng.NormFloat64() * c.cfg.ReadNoise * full)
 		}
+		c.mu.Unlock()
 	}
 	if c.cfg.ADCBits > 0 {
 		levels := float64(int(1) << uint(c.cfg.ADCBits))

@@ -61,6 +61,10 @@ func (b *FloatBackend) Classes() int       { return b.phi.Dim(0) }
 func (b *FloatBackend) Dim() int           { return b.phi.Dim(1) }
 func (b *FloatBackend) Label(c int) string { return b.labels[c] }
 
+// Requires declares the dense-probe requirement, so the engine rejects
+// packed-only batches at the query boundary instead of panicking here.
+func (b *FloatBackend) Requires() Representation { return RepDense }
+
 // ScoreShard computes cos(x_p, phi_c)/K for classes [lo, hi).
 func (b *FloatBackend) ScoreShard(batch *Batch, lo, hi int, out [][]float64) {
 	if batch.Dense == nil {
@@ -114,6 +118,10 @@ func (b *BinaryBackend) Name() string       { return "binary" }
 func (b *BinaryBackend) Classes() int       { return b.mem.Len() }
 func (b *BinaryBackend) Dim() int           { return b.mem.Dim() }
 func (b *BinaryBackend) Label(c int) string { return b.mem.Label(c) }
+
+// Requires declares the packed-probe requirement; dense-only batches
+// also satisfy it via lazy sign-packing (Batch.SignPacked).
+func (b *BinaryBackend) Requires() Representation { return RepPacked }
 
 // ScoreShard streams the slab range [lo, hi) per probe through the
 // non-allocating batched kernel ItemMemory.DistancesInto.
@@ -247,6 +255,17 @@ func (b *CrossbarBackend) Name() string       { return "imc" }
 func (b *CrossbarBackend) Classes() int       { return b.phi.Dim(0) }
 func (b *CrossbarBackend) Dim() int           { return b.phi.Dim(1) }
 func (b *CrossbarBackend) Label(c int) string { return b.labels[c] }
+
+// Requires declares the dense-probe requirement (crossbar MVMs read
+// real-valued probe rows), so packed-only batches fail at the engine
+// boundary instead of deep inside the tile.
+func (b *CrossbarBackend) Requires() Representation { return RepDense }
+
+// Stochastic reports whether query scores depend on query order (analog
+// read noise draws from per-tile streams). Callers that need seeded
+// reproducibility — core's evaluation readout — serialize their queries
+// against stochastic backends instead of fanning out.
+func (b *CrossbarBackend) Stochastic() bool { return b.cfg.StochasticRead() }
 
 // tile returns (programming on first use) the crossbar tile for [lo, hi).
 func (b *CrossbarBackend) tile(lo, hi int) *imc.SimilarityKernel {

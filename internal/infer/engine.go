@@ -9,16 +9,28 @@ import (
 
 // Engine executes batched queries against one Backend with the class
 // memory sharded into contiguous ranges, one goroutine worker per shard.
-// Each shard owns a reusable score buffer and produces its local top-k;
+// Each shard fills a reusable score buffer and produces its local top-k;
 // the engine merges the per-shard candidate lists into globally ordered
-// results. An Engine is cheap to build and holds no probe state, but its
-// scratch buffers make Query unsafe for concurrent use on the same
-// Engine; build one Engine per serving goroutine.
+// results. An Engine is cheap to build, holds no probe state, and is
+// safe for concurrent use: every Query checks out a complete working set
+// from a sync.Pool, so any number of goroutines can share one Engine
+// (the serving layer in internal/serve does exactly that) while the
+// steady state stays allocation-free.
 type Engine struct {
 	backend Backend
 	workers int
 	ranges  [][2]int
-	scratch []*shardScratch
+	pool    sync.Pool // *queryScratch, one per in-flight Query
+}
+
+// queryScratch is the complete per-call working set: one shardScratch
+// per worker plus the merge buffers. Checked out of Engine.pool at the
+// top of Query and returned before the results are, so concurrent
+// queries never share mutable state.
+type queryScratch struct {
+	shards []*shardScratch
+	counts []int // valid candidates per probe, per shard
+	merged []Hit // cross-shard merge buffer, reused per probe
 }
 
 // shardScratch is the per-shard reusable working set: the score matrix
@@ -39,15 +51,28 @@ func WithWorkers(n int) Option {
 }
 
 // New builds an engine over backend. The class memory is split into
-// `workers` contiguous shards of near-equal width.
+// `workers` contiguous shards of near-equal width. It panics on an empty
+// class set; NewChecked is the error-returning variant for callers that
+// may legitimately see degenerate inputs.
 func New(backend Backend, opts ...Option) *Engine {
+	e, err := NewChecked(backend, opts...)
+	if err != nil {
+		panic("infer.New: " + err.Error())
+	}
+	return e
+}
+
+// NewChecked builds an engine over backend like New but reports an empty
+// class set as ErrNoClasses instead of panicking — the path serving
+// layers and degenerate evaluation splits take.
+func NewChecked(backend Backend, opts ...Option) (*Engine, error) {
 	e := &Engine{backend: backend, workers: runtime.NumCPU()}
 	for _, opt := range opts {
 		opt(e)
 	}
 	c := backend.Classes()
 	if c <= 0 {
-		panic("infer.New: backend holds no classes")
+		return nil, fmt.Errorf("%w (backend %q)", ErrNoClasses, backend.Name())
 	}
 	if e.workers < 1 {
 		e.workers = 1
@@ -67,11 +92,17 @@ func New(backend Backend, opts ...Option) *Engine {
 		e.ranges = append(e.ranges, [2]int{lo, lo + w})
 		lo += w
 	}
-	e.scratch = make([]*shardScratch, e.workers)
-	for i := range e.scratch {
-		e.scratch[i] = &shardScratch{}
+	e.pool.New = func() any {
+		qs := &queryScratch{
+			shards: make([]*shardScratch, e.workers),
+			counts: make([]int, e.workers),
+		}
+		for i := range qs.shards {
+			qs.shards[i] = &shardScratch{}
+		}
+		return qs
 	}
-	return e
+	return e, nil
 }
 
 // Backend returns the engine's backend.
@@ -92,30 +123,61 @@ type ShardSelector interface {
 
 // Query scores every probe in batch against the full class memory and
 // returns, per probe, the top-k classes in descending score order (ties
-// by ascending class index). k is clamped to the class count.
+// by ascending class index). k is clamped to the class count. Query is
+// safe for concurrent callers on one shared Engine; it panics on invalid
+// input — TryQuery is the error-returning variant.
 func (e *Engine) Query(batch *Batch, k int) []Result {
+	res, err := e.TryQuery(batch, k)
+	if err != nil {
+		panic("infer.Engine.Query: " + err.Error())
+	}
+	return res
+}
+
+// TryQuery is Query with boundary validation reported as typed errors
+// instead of panics: a malformed batch (ErrBadQuery, ErrBatchMismatch),
+// a batch lacking the representation the backend consumes
+// (ErrMissingRepresentation), or a non-positive k (ErrBadQuery) fail
+// fast here, before any shard worker touches the probes.
+func (e *Engine) TryQuery(batch *Batch, k int) ([]Result, error) {
+	if err := batch.Validate(); err != nil {
+		return nil, err
+	}
 	n := batch.Len()
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 	if k <= 0 {
-		panic(fmt.Sprintf("infer.Engine.Query: non-positive k=%d", k))
+		return nil, fmt.Errorf("%w: non-positive k=%d", ErrBadQuery, k)
+	}
+	if rr, ok := e.backend.(RepresentationRequirer); ok {
+		if r := rr.Requires(); !batch.Satisfies(r) {
+			return nil, fmt.Errorf("%w: backend %q consumes %s probes, batch carries %s only",
+				ErrMissingRepresentation, e.backend.Name(), r, batchContents(batch))
+		}
+	}
+	if d := batch.Dim(); d != e.backend.Dim() {
+		// Caught here so the mismatch surfaces as a typed error instead of
+		// an unrecoverable panic inside a shard worker goroutine.
+		return nil, fmt.Errorf("%w: probe dim %d, backend %q expects %d",
+			ErrBadQuery, d, e.backend.Name(), e.backend.Dim())
 	}
 	if c := e.backend.Classes(); k > c {
 		k = c
 	}
 
+	qs := e.pool.Get().(*queryScratch)
+
 	// Phase 1: shard workers score their class range and keep local top-k.
-	counts := make([]int, e.workers) // valid candidates per probe, per shard
 	if e.workers == 1 {
-		counts[0] = e.runShard(0, batch, k)
+		qs.counts[0] = e.runShard(0, qs.shards[0], batch, k)
 	} else {
 		var wg sync.WaitGroup
 		for si := range e.ranges {
 			wg.Add(1)
 			go func(si int) {
 				defer wg.Done()
-				counts[si] = e.runShard(si, batch, k)
+				qs.counts[si] = e.runShard(si, qs.shards[si], batch, k)
 			}(si)
 		}
 		wg.Wait()
@@ -125,16 +187,19 @@ func (e *Engine) Query(batch *Batch, k int) []Result {
 	// One backing allocation serves every result's TopK slice.
 	results := make([]Result, n)
 	backing := make([]Hit, n*k)
-	merged := make([]Hit, 0, e.workers*k)
+	if cap(qs.merged) < e.workers*k {
+		qs.merged = make([]Hit, 0, e.workers*k)
+	}
+	merged := qs.merged
 	for p := 0; p < n; p++ {
 		top := backing[p*k : (p+1)*k : (p+1)*k]
 		if e.workers == 1 {
 			// Single shard: its candidate list is already the global order.
-			copy(top, e.scratch[0].cands[p*k:p*k+k])
+			copy(top, qs.shards[0].cands[p*k:p*k+k])
 		} else {
 			merged = merged[:0]
 			for si := range e.ranges {
-				merged = append(merged, e.scratch[si].cands[p*k:p*k+counts[si]]...)
+				merged = append(merged, qs.shards[si].cands[p*k:p*k+qs.counts[si]]...)
 			}
 			sort.Slice(merged, func(a, b int) bool {
 				if merged[a].Score != merged[b].Score {
@@ -149,7 +214,23 @@ func (e *Engine) Query(batch *Batch, k int) []Result {
 		}
 		results[p] = Result{TopK: top}
 	}
-	return results
+	qs.merged = merged
+	e.pool.Put(qs)
+	return results, nil
+}
+
+// batchContents names the representations a batch carries, for error
+// messages.
+func batchContents(b *Batch) string {
+	switch {
+	case b.Dense != nil && b.Packed != nil:
+		return "dense+packed"
+	case b.Dense != nil:
+		return "dense"
+	case b.Packed != nil:
+		return "packed"
+	}
+	return "nothing"
 }
 
 // Predict returns the top-1 class index per probe.
@@ -162,13 +243,13 @@ func (e *Engine) Predict(batch *Batch) []int {
 	return out
 }
 
-// runShard scores shard si and fills its local candidate buffer; it
-// returns the number of valid candidates per probe (min(k, shard width)).
-func (e *Engine) runShard(si int, batch *Batch, k int) int {
+// runShard scores shard si into the supplied scratch and fills its local
+// candidate buffer; it returns the number of valid candidates per probe
+// (min(k, shard width)).
+func (e *Engine) runShard(si int, s *shardScratch, batch *Batch, k int) int {
 	lo, hi := e.ranges[si][0], e.ranges[si][1]
 	width := hi - lo
 	n := batch.Len()
-	s := e.scratch[si]
 
 	if cap(s.cands) < n*k {
 		s.cands = make([]Hit, n*k)

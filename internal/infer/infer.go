@@ -10,21 +10,79 @@
 //     outlook, programming one imc crossbar tile per shard.
 //
 // The Engine takes batches of probes, shards the class memory across
-// goroutine workers with reusable score buffers, selects per-shard top-k
+// goroutine workers with pooled score buffers, selects per-shard top-k
 // candidates, and merges them into globally ordered results. Ordering is
 // identical across backends on a frozen model (descending score, ties by
 // ascending class index), which the cross-backend parity tests pin down.
-// Every future scaling feature — result caching, async serving,
-// multi-node sharding — plugs in at this seam.
+// One Engine is safe for any number of concurrent Query callers — the
+// per-call working set comes from a sync.Pool — which is what the
+// micro-batching serving layer in internal/serve builds on. Every future
+// scaling feature — result caching, async serving, multi-node sharding —
+// plugs in at this seam.
 package infer
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/hdc"
 	"repro/internal/tensor"
 )
+
+// Typed errors returned by the validating constructors and TryQuery.
+// Query and the panicking constructors wrap the same conditions, so
+// callers that prefer fail-fast semantics keep them.
+var (
+	// ErrNoClasses: the backend holds an empty class memory (a degenerate
+	// split reached the engine).
+	ErrNoClasses = errors.New("backend holds no classes")
+	// ErrBatchMismatch: a batch populates both representations but their
+	// probe counts disagree, so probe p in one is not probe p in the other.
+	ErrBatchMismatch = errors.New("dense/packed probe count mismatch")
+	// ErrMissingRepresentation: the batch lacks the probe representation
+	// the backend consumes (e.g. a packed-only batch against a dense-only
+	// backend).
+	ErrMissingRepresentation = errors.New("batch lacks the representation the backend requires")
+	// ErrBadQuery: a structurally invalid query (non-positive k, nil or
+	// malformed batch).
+	ErrBadQuery = errors.New("invalid query")
+)
+
+// Representation names a probe representation a Backend consumes. A
+// Backend may declare its requirement via the optional Requires method;
+// the engine then rejects under-populated batches at the query boundary
+// with ErrMissingRepresentation instead of panicking mid-shard.
+type Representation int
+
+const (
+	// RepDense: the backend reads Batch.Dense (float and crossbar paths).
+	// Packed-only batches cannot serve it — bit packing is lossy, so there
+	// is no way back to the real-valued probe.
+	RepDense Representation = iota
+	// RepPacked: the backend reads packed probes. A dense-only batch still
+	// satisfies it through lazy sign-packing (Batch.SignPacked).
+	RepPacked
+)
+
+// String names the representation in error messages.
+func (r Representation) String() string {
+	switch r {
+	case RepDense:
+		return "dense"
+	case RepPacked:
+		return "packed"
+	}
+	return fmt.Sprintf("Representation(%d)", int(r))
+}
+
+// RepresentationRequirer is the optional Backend extension that declares
+// which probe representation the backend consumes, enabling fail-fast
+// validation at the engine boundary. All three shipped backends
+// implement it.
+type RepresentationRequirer interface {
+	Requires() Representation
+}
 
 // Batch is a set of probes presented to the engine. The two fields are
 // alternative representations of the same probes; a backend reads the one
@@ -56,12 +114,85 @@ func DenseBatch(x *tensor.Tensor) *Batch {
 // PackedBatch wraps packed binary probes as a batch for BinaryBackend.
 func PackedBatch(vs []*hdc.Binary) *Batch { return &Batch{Packed: vs} }
 
+// NewBatch builds a batch carrying both representations of the same
+// probes, validating that they agree before the batch can reach an
+// engine. Either argument may be nil (single-representation batch); with
+// both populated a row-count mismatch returns ErrBatchMismatch instead
+// of silently mis-indexing probes in Engine.Query.
+func NewBatch(dense *tensor.Tensor, packed []*hdc.Binary) (*Batch, error) {
+	b := &Batch{Dense: dense, Packed: packed}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
 // Len returns the number of probes in the batch.
 func (b *Batch) Len() int {
 	if b.Dense != nil {
 		return b.Dense.Dim(0)
 	}
 	return len(b.Packed)
+}
+
+// Validate checks the batch's structural invariants: dense probes
+// rank-2, no nil packed entries, and — when both representations are
+// present — matching probe counts (probe p of Dense must be probe p of
+// Packed, or backends reading different representations would disagree
+// about which probe is which). A batch with neither representation is
+// valid and empty.
+func (b *Batch) Validate() error {
+	if b == nil {
+		return fmt.Errorf("%w: nil batch", ErrBadQuery)
+	}
+	if b.Dense != nil && b.Dense.Rank() != 2 {
+		return fmt.Errorf("%w: dense probes must be rank-2 [n, d], have %v", ErrBadQuery, b.Dense.Shape())
+	}
+	for i, v := range b.Packed {
+		if v == nil {
+			return fmt.Errorf("%w: packed probe %d is nil", ErrBadQuery, i)
+		}
+		if v.Dim() != b.Packed[0].Dim() {
+			return fmt.Errorf("%w: packed probe %d has dim %d, probe 0 has dim %d",
+				ErrBadQuery, i, v.Dim(), b.Packed[0].Dim())
+		}
+	}
+	if b.Dense != nil && b.Packed != nil {
+		if b.Dense.Dim(0) != len(b.Packed) {
+			return fmt.Errorf("%w: dense has %d probes, packed has %d",
+				ErrBatchMismatch, b.Dense.Dim(0), len(b.Packed))
+		}
+		if len(b.Packed) > 0 && b.Dense.Dim(1) != b.Packed[0].Dim() {
+			return fmt.Errorf("%w: dense probes have dim %d, packed probes have dim %d",
+				ErrBatchMismatch, b.Dense.Dim(1), b.Packed[0].Dim())
+		}
+	}
+	return nil
+}
+
+// Dim returns the probe dimensionality of the batch, or 0 when empty.
+// Validate guarantees the representations agree on it.
+func (b *Batch) Dim() int {
+	if b.Dense != nil {
+		return b.Dense.Dim(1)
+	}
+	if len(b.Packed) > 0 {
+		return b.Packed[0].Dim()
+	}
+	return 0
+}
+
+// Satisfies reports whether the batch can serve a backend consuming the
+// given representation: RepDense needs Dense, RepPacked is satisfied by
+// either representation (dense probes sign-pack lazily).
+func (b *Batch) Satisfies(r Representation) bool {
+	switch r {
+	case RepDense:
+		return b.Dense != nil
+	case RepPacked:
+		return b.Dense != nil || b.Packed != nil
+	}
+	return false
 }
 
 // DenseNorms returns the L2 norm of each dense probe row, computed once

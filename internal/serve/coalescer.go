@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hdc"
+	"repro/internal/infer"
+	"repro/internal/tensor"
+)
+
+// Probe is one classification request: a single embedding in the dense
+// and/or packed representation. Which representation is required depends
+// on the backend behind the coalescer: dense-consuming backends (float,
+// crossbar) need Dense; the packed-binary backend takes either (a dense
+// probe is sign-packed at admission). The coalescer copies what it
+// retains at admission, so the caller may reuse the probe's buffers the
+// moment Classify returns — even on context cancellation.
+type Probe struct {
+	Dense  []float32
+	Packed *hdc.Binary
+}
+
+// request is one admitted probe waiting for its batch to flush.
+type request struct {
+	dense  []float32
+	packed *hdc.Binary
+	k      int
+	out    chan reply // buffered (1): the flusher never blocks on a gone caller
+}
+
+type reply struct {
+	res infer.Result
+	err error
+}
+
+// Coalescer merges single-probe Classify calls into engine batches under
+// a MaxBatch/MaxDelay policy and demultiplexes the per-probe results
+// back to the waiting callers. One goroutine owns admission; each
+// flushed batch executes on its own goroutine against the shared
+// concurrency-safe infer.Engine, so a slow batch never blocks admission
+// of the next.
+type Coalescer struct {
+	eng      *infer.Engine
+	cfg      Config
+	needs    infer.Representation
+	dim      int
+	reqs     chan *request
+	loopDone chan struct{}
+
+	mu     sync.RWMutex // guards closed vs. senders on reqs
+	closed bool
+	exec   sync.WaitGroup // in-flight batch executions
+
+	// serving counters (atomics; largestBatch guarded by statMu)
+	requests, rejected          atomic.Uint64
+	batches, full, timer, drain atomic.Uint64
+	probesServed                atomic.Uint64
+	inFlight                    atomic.Int64
+	statMu                      sync.Mutex
+	largestBatch                int
+}
+
+// NewCoalescer wraps a shared engine with a micro-batching front. The
+// zero Config takes the defaults (MaxBatch 32, MaxDelay 2ms).
+func NewCoalescer(eng *infer.Engine, cfg Config) *Coalescer {
+	cfg = cfg.withDefaults()
+	needs := infer.RepDense
+	if rr, ok := eng.Backend().(infer.RepresentationRequirer); ok {
+		needs = rr.Requires()
+	}
+	c := &Coalescer{
+		eng:      eng,
+		cfg:      cfg,
+		needs:    needs,
+		dim:      eng.Backend().Dim(),
+		reqs:     make(chan *request, cfg.Queue),
+		loopDone: make(chan struct{}),
+	}
+	go c.loop()
+	return c
+}
+
+// Engine returns the underlying shared engine.
+func (c *Coalescer) Engine() *infer.Engine { return c.eng }
+
+// Config returns the effective admission policy.
+func (c *Coalescer) Config() Config { return c.cfg }
+
+// Classify submits one probe and blocks until its batch has been scored,
+// returning the probe's top-k hits in engine order (score descending,
+// ties by ascending class index). k < 1 defaults to 1; k above the class
+// count is clamped. Classify is safe for any number of concurrent
+// callers — that is the point: callers bring single probes, the
+// coalescer recovers batched throughput underneath them.
+func (c *Coalescer) Classify(ctx context.Context, p Probe, k int) (infer.Result, error) {
+	if k < 1 {
+		k = 1
+	}
+	r := &request{dense: p.Dense, packed: p.Packed, k: k, out: make(chan reply, 1)}
+	if err := c.admitProbe(r); err != nil {
+		c.rejected.Add(1)
+		return infer.Result{}, err
+	}
+
+	// Enqueue under a read lock so Close cannot close reqs mid-send.
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		c.rejected.Add(1)
+		return infer.Result{}, ErrClosed
+	}
+	select {
+	case c.reqs <- r:
+		c.mu.RUnlock()
+	case <-ctx.Done():
+		c.mu.RUnlock()
+		c.rejected.Add(1)
+		return infer.Result{}, ctx.Err()
+	}
+	c.requests.Add(1)
+
+	select {
+	case rep := <-r.out:
+		return rep.res, rep.err
+	case <-ctx.Done():
+		// The flusher will still deliver into the buffered channel; the
+		// reply is simply dropped.
+		return infer.Result{}, ctx.Err()
+	}
+}
+
+// admitProbe validates the probe against the backend's representation
+// and dimensionality, normalizing it to the batch representation (dense
+// probes for packed backends are sign-packed here, on the caller's
+// goroutine, so the admission loop stays cheap). The retained probe is
+// always a private copy: a caller may reuse its buffer the moment
+// Classify returns — including on context cancellation, when the flush
+// still executes after the caller has moved on.
+func (c *Coalescer) admitProbe(r *request) error {
+	switch c.needs {
+	case infer.RepDense:
+		if r.dense == nil {
+			return fmt.Errorf("%w: backend %q consumes dense probes, none provided",
+				ErrBadProbe, c.eng.Backend().Name())
+		}
+		if len(r.dense) != c.dim {
+			return fmt.Errorf("%w: embedding has %d components, backend %q expects %d",
+				ErrBadProbe, len(r.dense), c.eng.Backend().Name(), c.dim)
+		}
+		r.dense = append([]float32(nil), r.dense...)
+	case infer.RepPacked:
+		if r.packed == nil {
+			if r.dense == nil {
+				return fmt.Errorf("%w: no probe provided", ErrBadProbe)
+			}
+			if len(r.dense) != c.dim {
+				return fmt.Errorf("%w: embedding has %d components, backend %q expects %d",
+					ErrBadProbe, len(r.dense), c.eng.Backend().Name(), c.dim)
+			}
+			r.packed = infer.PackSign(tensor.FromSlice(r.dense, 1, c.dim))[0]
+		} else if r.packed.Dim() != c.dim {
+			return fmt.Errorf("%w: packed probe has dim %d, backend %q expects %d",
+				ErrBadProbe, r.packed.Dim(), c.eng.Backend().Name(), c.dim)
+		} else {
+			r.packed = r.packed.Clone()
+		}
+	}
+	return nil
+}
+
+// Close stops admission, flushes any pending probes, and waits for
+// in-flight batches to finish. Subsequent Classify calls return
+// ErrClosed. Close is idempotent.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	if !already {
+		close(c.reqs)
+	}
+	c.mu.Unlock()
+	<-c.loopDone
+	c.exec.Wait()
+}
+
+// Stats snapshots the serving counters.
+func (c *Coalescer) Stats() Stats {
+	s := Stats{
+		Requests:     c.requests.Load(),
+		Rejected:     c.rejected.Load(),
+		Batches:      c.batches.Load(),
+		FullFlushes:  c.full.Load(),
+		TimerFlushes: c.timer.Load(),
+		DrainFlushes: c.drain.Load(),
+		InFlight:     c.inFlight.Load(),
+	}
+	if s.Batches > 0 {
+		s.MeanBatch = float64(c.probesServed.Load()) / float64(s.Batches)
+	}
+	c.statMu.Lock()
+	s.LargestBatch = c.largestBatch
+	c.statMu.Unlock()
+	return s
+}
+
+// flush reasons, recorded in Stats.
+const (
+	flushFull = iota
+	flushTimer
+	flushDrain
+)
+
+// loop owns admission: it gathers requests until the batch fills or the
+// delay deadline fires, then hands the batch to an executor goroutine.
+func (c *Coalescer) loop() {
+	defer close(c.loopDone)
+	pending := make([]*request, 0, c.cfg.MaxBatch)
+	var delay *time.Timer
+	var deadline <-chan time.Time
+
+	disarm := func() {
+		if delay != nil {
+			delay.Stop()
+			delay = nil
+			deadline = nil
+		}
+	}
+	flush := func(reason int) {
+		if len(pending) == 0 {
+			return
+		}
+		disarm()
+		batch := pending
+		pending = make([]*request, 0, c.cfg.MaxBatch)
+		c.dispatch(batch, reason)
+	}
+
+	for {
+		select {
+		case r, ok := <-c.reqs:
+			if !ok {
+				flush(flushDrain)
+				return
+			}
+			pending = append(pending, r)
+			// Greedy drain: pull everything already queued without going
+			// back through the scheduler, up to the batch cap.
+			for len(pending) < c.cfg.MaxBatch {
+				select {
+				case r, ok := <-c.reqs:
+					if !ok {
+						flush(flushDrain)
+						return
+					}
+					pending = append(pending, r)
+					continue
+				default:
+				}
+				break
+			}
+			if len(pending) >= c.cfg.MaxBatch {
+				flush(flushFull)
+			} else if delay == nil {
+				delay = time.NewTimer(c.cfg.MaxDelay)
+				deadline = delay.C
+			}
+		case <-deadline:
+			delay, deadline = nil, nil
+			flush(flushTimer)
+		}
+	}
+}
+
+// dispatch records stats for a flushed batch and executes it on its own
+// goroutine against the shared engine.
+func (c *Coalescer) dispatch(batch []*request, reason int) {
+	c.batches.Add(1)
+	c.probesServed.Add(uint64(len(batch)))
+	switch reason {
+	case flushFull:
+		c.full.Add(1)
+	case flushTimer:
+		c.timer.Add(1)
+	case flushDrain:
+		c.drain.Add(1)
+	}
+	c.statMu.Lock()
+	if len(batch) > c.largestBatch {
+		c.largestBatch = len(batch)
+	}
+	c.statMu.Unlock()
+
+	c.exec.Add(1)
+	c.inFlight.Add(1)
+	go func() {
+		defer c.exec.Done()
+		defer c.inFlight.Add(-1)
+		c.execute(batch)
+	}()
+}
+
+// execute assembles the engine batch in the backend's representation,
+// queries at the largest k any caller asked for, and demultiplexes the
+// per-probe results.
+func (c *Coalescer) execute(batch []*request) {
+	kmax := 1
+	for _, r := range batch {
+		if r.k > kmax {
+			kmax = r.k
+		}
+	}
+
+	var eb *infer.Batch
+	if c.needs == infer.RepPacked {
+		packed := make([]*hdc.Binary, len(batch))
+		for i, r := range batch {
+			packed[i] = r.packed
+		}
+		eb = infer.PackedBatch(packed)
+	} else {
+		dense := tensor.New(len(batch), c.dim)
+		for i, r := range batch {
+			copy(dense.Row(i), r.dense)
+		}
+		eb = infer.DenseBatch(dense)
+	}
+
+	results, err := c.eng.TryQuery(eb, kmax)
+	if err != nil {
+		for _, r := range batch {
+			r.out <- reply{err: err}
+		}
+		return
+	}
+	for i, r := range batch {
+		top := results[i].TopK
+		if r.k < len(top) {
+			top = top[:r.k]
+		}
+		r.out <- reply{res: infer.Result{TopK: top}}
+	}
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// ClassifyRequest is the POST /v1/classify body. Embedding is the dense
+// probe; for the packed-binary backend it is sign-packed server-side, so
+// one request shape serves every registered backend.
+type ClassifyRequest struct {
+	// Model names the registered backend ("float", "binary", "imc");
+	// optional when exactly one model is registered.
+	Model string `json:"model,omitempty"`
+	// K is the number of ranked hits to return (default 1).
+	K int `json:"k,omitempty"`
+	// Embedding is the dense probe, length = backend dimensionality.
+	Embedding []float32 `json:"embedding"`
+}
+
+// ClassifyHit is one ranked class in a ClassifyResponse.
+type ClassifyHit struct {
+	Class int     `json:"class"`
+	Label string  `json:"label"`
+	Score float64 `json:"score"`
+}
+
+// ClassifyResponse is the POST /v1/classify reply.
+type ClassifyResponse struct {
+	Model string        `json:"model"`
+	TopK  []ClassifyHit `json:"topk"`
+}
+
+// healthResponse is the GET /healthz reply.
+type healthResponse struct {
+	Status string   `json:"status"`
+	Models []string `json:"models"`
+}
+
+// modelStats is one model's entry in the GET /stats reply.
+type modelStats struct {
+	Backend  string `json:"backend"`
+	Classes  int    `json:"classes"`
+	Dim      int    `json:"dim"`
+	Workers  int    `json:"workers"`
+	MaxBatch int    `json:"max_batch"`
+	MaxDelay string `json:"max_delay"`
+	Stats
+}
+
+// NewHandler builds the HTTP JSON API over a registry:
+//
+//	POST /v1/classify  — classify one embedding against a named model
+//	GET  /healthz      — liveness plus the registered model names
+//	GET  /stats        — per-model coalescer counters
+func NewHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
+		var req ClassifyRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+			return
+		}
+		co, err := reg.Get(req.Model)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		res, err := co.Classify(r.Context(), Probe{Dense: req.Embedding}, req.K)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrBadProbe):
+				httpError(w, http.StatusBadRequest, err.Error())
+			case errors.Is(err, ErrClosed):
+				httpError(w, http.StatusServiceUnavailable, err.Error())
+			default:
+				httpError(w, http.StatusInternalServerError, err.Error())
+			}
+			return
+		}
+		resp := ClassifyResponse{Model: co.Engine().Backend().Name()}
+		for _, h := range res.TopK {
+			resp.TopK = append(resp.TopK, ClassifyHit{Class: h.Class, Label: h.Label, Score: h.Score})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Models: reg.Names()})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		out := make(map[string]modelStats)
+		for _, name := range reg.Names() {
+			co, err := reg.Get(name)
+			if err != nil {
+				continue // raced with Close
+			}
+			eng := co.Engine()
+			out[name] = modelStats{
+				Backend:  eng.Backend().Name(),
+				Classes:  eng.Backend().Classes(),
+				Dim:      eng.Backend().Dim(),
+				Workers:  eng.Workers(),
+				MaxBatch: co.Config().MaxBatch,
+				MaxDelay: co.Config().MaxDelay.String(),
+				Stats:    co.Stats(),
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the named model table: one process serves several
+// backends — float reference, packed-binary edge path, analog crossbar —
+// side by side, each behind its own coalescer over its own shared
+// engine.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*Coalescer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*Coalescer)}
+}
+
+// Register adds a coalescer under name; registering a taken name returns
+// ErrDuplicateModel.
+func (r *Registry) Register(name string, c *Coalescer) error {
+	if name == "" {
+		return fmt.Errorf("serve: cannot register an empty model name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateModel, name)
+	}
+	r.models[name] = c
+	return nil
+}
+
+// Get resolves a model by name. An empty name resolves iff exactly one
+// model is registered (the single-model deployment shorthand).
+func (r *Registry) Get(name string) (*Coalescer, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		if len(r.models) == 1 {
+			for _, c := range r.models {
+				return c, nil
+			}
+		}
+		return nil, fmt.Errorf("%w: no model named and %d registered", ErrUnknownModel, len(r.models))
+	}
+	c, ok := r.models[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return c, nil
+}
+
+// Names lists the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close closes every registered coalescer and empties the registry.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	models := r.models
+	r.models = make(map[string]*Coalescer)
+	r.mu.Unlock()
+	for _, c := range models {
+		c.Close()
+	}
+}

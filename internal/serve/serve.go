@@ -1,0 +1,83 @@
+// Package serve is the concurrent serving layer over the batched
+// inference engine (internal/infer): the seam that turns the repo's
+// evaluation-time readout into a traffic-facing subsystem.
+//
+// Three pieces compose:
+//
+//   - Coalescer: a micro-batching front. Callers submit single probes
+//     (Classify); the coalescer merges them into engine batches under a
+//     MaxBatch/MaxDelay admission policy, runs batches through one shared
+//     concurrency-safe infer.Engine, and demultiplexes per-probe Results
+//     back to the waiting callers. Single-probe callers get within a few
+//     percent of raw batched-Query throughput (see BenchmarkServeCoalesced
+//     at the repo root) without ever seeing a batch.
+//   - Registry: a named model table, so one process serves the float,
+//     packed-binary, and analog-crossbar backends side by side.
+//   - Handler: a net/http JSON API over a Registry — POST /v1/classify,
+//     GET /healthz, GET /stats — the surface cmd/hdcserve exposes.
+//
+// The layer holds no model state of its own: every scaling feature the
+// ROADMAP plans (result caching, async serving, multi-node sharding)
+// slots in between the Coalescer and the Engine.
+package serve
+
+import (
+	"errors"
+	"time"
+)
+
+// Typed errors returned by Classify and the registry.
+var (
+	// ErrClosed: the coalescer has been closed and accepts no new probes.
+	ErrClosed = errors.New("serve: coalescer closed")
+	// ErrBadProbe: the submitted probe is missing, malformed, or does not
+	// match the backend's dimensionality or representation.
+	ErrBadProbe = errors.New("serve: bad probe")
+	// ErrUnknownModel: the registry holds no model under the given name.
+	ErrUnknownModel = errors.New("serve: unknown model")
+	// ErrDuplicateModel: a model is already registered under the name.
+	ErrDuplicateModel = errors.New("serve: duplicate model")
+)
+
+// Config is the coalescer's admission policy.
+type Config struct {
+	// MaxBatch flushes a pending batch once it holds this many probes
+	// (default 32, the evaluation pipeline's embedding batch size).
+	MaxBatch int
+	// MaxDelay flushes a non-empty pending batch at latest this long
+	// after its first probe was admitted (default 2ms), bounding the
+	// latency a lone probe pays for batching.
+	MaxDelay time.Duration
+	// Queue is the admission queue capacity (default 4×MaxBatch). A full
+	// queue applies backpressure: Classify blocks until the coalescer
+	// drains or the caller's context expires.
+	Queue int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// Stats is a snapshot of a coalescer's serving counters, also the
+// per-model payload of the HTTP /stats endpoint.
+type Stats struct {
+	Requests     uint64  `json:"requests"`      // probes admitted
+	Rejected     uint64  `json:"rejected"`      // probes rejected before admission (bad probe, closed)
+	Batches      uint64  `json:"batches"`       // engine batches flushed
+	FullFlushes  uint64  `json:"full_flushes"`  // batches flushed because they reached MaxBatch
+	TimerFlushes uint64  `json:"timer_flushes"` // batches flushed by the MaxDelay deadline
+	DrainFlushes uint64  `json:"drain_flushes"` // batches flushed while shutting down
+	LargestBatch int     `json:"largest_batch"` // largest batch flushed so far
+	MeanBatch    float64 `json:"mean_batch"`    // mean probes per flushed batch
+	InFlight     int64   `json:"in_flight"`     // batches currently executing on the engine
+}

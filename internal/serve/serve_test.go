@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hdc"
+	"repro/internal/imc"
+	"repro/internal/infer"
+	"repro/internal/tensor"
+)
+
+// fixture builds a frozen class memory in both representations plus a
+// set of dense probes with their serial-path reference results.
+type fixture struct {
+	phi    *tensor.Tensor
+	im     *hdc.ItemMemory
+	labels []string
+	dense  *tensor.Tensor // [n, d] probes
+}
+
+func newFixture(classes, d, probes int, seed int64) *fixture {
+	rng := rand.New(rand.NewSource(seed))
+	f := &fixture{
+		phi:    tensor.Rademacher(rng, classes, d),
+		im:     hdc.NewItemMemory(d),
+		labels: make([]string, classes),
+	}
+	for c := 0; c < classes; c++ {
+		f.labels[c] = fmt.Sprintf("class%d", c)
+		b := hdc.NewBinary(d)
+		for j, v := range f.phi.Row(c) {
+			if v < 0 {
+				b.SetBit(j, 1)
+			}
+		}
+		f.im.Store(f.labels[c], b)
+	}
+	f.dense = tensor.Randn(rng, 1, probes, d)
+	return f
+}
+
+func (f *fixture) backends() []infer.Backend {
+	return []infer.Backend{
+		infer.NewFloatBackend(f.phi, f.labels, 1),
+		infer.NewBinaryBackend(f.im),
+		infer.NewCrossbarBackend(f.phi, f.labels, 1, imc.Ideal()),
+	}
+}
+
+// Concurrent single-probe Classify calls through the coalescer must
+// return exactly what a direct batched Engine.Query returns for the same
+// probes — per backend, under the race detector in CI.
+func TestCoalescerParityWithDirectQuery(t *testing.T) {
+	const classes, d, probes = 23, 256, 48
+	f := newFixture(classes, d, probes, 1)
+	for _, be := range f.backends() {
+		eng := infer.New(be, infer.WithWorkers(3))
+		want := eng.Query(infer.DenseBatch(f.dense), 4)
+
+		co := NewCoalescer(eng, Config{MaxBatch: 8, MaxDelay: time.Millisecond})
+		var wg sync.WaitGroup
+		errs := make(chan error, probes)
+		for p := 0; p < probes; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				res, err := co.Classify(context.Background(), Probe{Dense: f.dense.Row(p)}, 4)
+				if err != nil {
+					errs <- fmt.Errorf("probe %d: %v", p, err)
+					return
+				}
+				if len(res.TopK) != len(want[p].TopK) {
+					errs <- fmt.Errorf("probe %d: %d hits, want %d", p, len(res.TopK), len(want[p].TopK))
+					return
+				}
+				for i := range res.TopK {
+					if res.TopK[i] != want[p].TopK[i] {
+						errs <- fmt.Errorf("backend %q probe %d rank %d: %+v, want %+v",
+							be.Name(), p, i, res.TopK[i], want[p].TopK[i])
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		co.Close()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		s := co.Stats()
+		if s.Requests != probes {
+			t.Fatalf("backend %q: stats report %d requests, want %d", be.Name(), s.Requests, probes)
+		}
+		if s.Batches == 0 || s.Batches > probes {
+			t.Fatalf("backend %q: implausible batch count %d", be.Name(), s.Batches)
+		}
+	}
+}
+
+// The coalescer must actually coalesce: with many concurrent callers and
+// a generous MaxDelay, mean batch size has to rise well above 1.
+func TestCoalescerMergesConcurrentRequests(t *testing.T) {
+	const classes, d, probes = 11, 128, 64
+	f := newFixture(classes, d, probes, 2)
+	eng := infer.New(infer.NewBinaryBackend(f.im), infer.WithWorkers(2))
+	co := NewCoalescer(eng, Config{MaxBatch: 16, MaxDelay: 50 * time.Millisecond})
+	defer co.Close()
+
+	var wg sync.WaitGroup
+	for p := 0; p < probes; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			if _, err := co.Classify(context.Background(), Probe{Dense: f.dense.Row(p)}, 1); err != nil {
+				panic(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	s := co.Stats()
+	if s.MeanBatch < 2 {
+		t.Fatalf("mean batch %.2f — the coalescer is not batching (stats %+v)", s.MeanBatch, s)
+	}
+	if s.LargestBatch > 16 {
+		t.Fatalf("batch of %d exceeded MaxBatch 16", s.LargestBatch)
+	}
+}
+
+// A lone probe must not wait forever: the MaxDelay deadline flushes it.
+func TestCoalescerMaxDelayFlushesLoneProbe(t *testing.T) {
+	const classes, d = 7, 64
+	f := newFixture(classes, d, 1, 3)
+	eng := infer.New(infer.NewFloatBackend(f.phi, f.labels, 1))
+	co := NewCoalescer(eng, Config{MaxBatch: 1024, MaxDelay: 5 * time.Millisecond})
+	defer co.Close()
+
+	start := time.Now()
+	res, err := co.Classify(context.Background(), Probe{Dense: f.dense.Row(0)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) != 1 {
+		t.Fatalf("got %d hits, want 1", len(res.TopK))
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("lone probe waited %v; MaxDelay flush not working", waited)
+	}
+	if s := co.Stats(); s.TimerFlushes == 0 {
+		t.Fatalf("no timer flush recorded: %+v", s)
+	}
+}
+
+// Per-request k: callers in the same batch may ask for different k and
+// each gets exactly its own prefix of the ranking.
+func TestCoalescerPerRequestK(t *testing.T) {
+	const classes, d, probes = 13, 64, 6
+	f := newFixture(classes, d, probes, 4)
+	eng := infer.New(infer.NewFloatBackend(f.phi, f.labels, 1))
+	want := eng.Query(infer.DenseBatch(f.dense), classes)
+	co := NewCoalescer(eng, Config{MaxBatch: probes, MaxDelay: 100 * time.Millisecond})
+	defer co.Close()
+
+	var wg sync.WaitGroup
+	for p := 0; p < probes; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			k := 1 + p*2
+			if k > classes {
+				k = classes
+			}
+			res, err := co.Classify(context.Background(), Probe{Dense: f.dense.Row(p)}, k)
+			if err != nil {
+				panic(err)
+			}
+			if len(res.TopK) != k {
+				panic(fmt.Sprintf("probe %d asked k=%d, got %d hits", p, k, len(res.TopK)))
+			}
+			for i := range res.TopK {
+				if res.TopK[i] != want[p].TopK[i] {
+					panic(fmt.Sprintf("probe %d rank %d mismatch", p, i))
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// Bad probes are rejected at admission with ErrBadProbe naming the
+// problem; the binary backend accepts dense probes via sign-packing.
+func TestCoalescerProbeValidation(t *testing.T) {
+	const classes, d = 7, 64
+	f := newFixture(classes, d, 2, 5)
+	ctx := context.Background()
+
+	floatCo := NewCoalescer(infer.New(infer.NewFloatBackend(f.phi, f.labels, 1)), Config{})
+	defer floatCo.Close()
+	if _, err := floatCo.Classify(ctx, Probe{Packed: f.im.Vector(0)}, 1); !errors.Is(err, ErrBadProbe) {
+		t.Fatalf("packed probe against float backend: err = %v, want ErrBadProbe", err)
+	}
+	if _, err := floatCo.Classify(ctx, Probe{Dense: make([]float32, d+1)}, 1); !errors.Is(err, ErrBadProbe) {
+		t.Fatalf("wrong-dim dense probe: err = %v, want ErrBadProbe", err)
+	}
+	if _, err := floatCo.Classify(ctx, Probe{}, 1); !errors.Is(err, ErrBadProbe) {
+		t.Fatalf("empty probe: err = %v, want ErrBadProbe", err)
+	}
+
+	binCo := NewCoalescer(infer.New(infer.NewBinaryBackend(f.im)), Config{})
+	defer binCo.Close()
+	fromDense, err := binCo.Classify(ctx, Probe{Dense: f.dense.Row(0)}, 1)
+	if err != nil {
+		t.Fatalf("dense probe against binary backend: %v", err)
+	}
+	fromPacked, err := binCo.Classify(ctx, Probe{Packed: infer.PackSign(f.dense)[0]}, 1)
+	if err != nil {
+		t.Fatalf("packed probe against binary backend: %v", err)
+	}
+	if fromDense.TopK[0] != fromPacked.TopK[0] {
+		t.Fatalf("dense (%+v) and packed (%+v) probes disagree", fromDense.TopK[0], fromPacked.TopK[0])
+	}
+}
+
+// After Close, Classify fails with ErrClosed; probes admitted before
+// Close still get answers (drain flush).
+func TestCoalescerCloseDrainsAndRejects(t *testing.T) {
+	const classes, d = 7, 64
+	f := newFixture(classes, d, 4, 6)
+	eng := infer.New(infer.NewFloatBackend(f.phi, f.labels, 1))
+	co := NewCoalescer(eng, Config{MaxBatch: 1024, MaxDelay: time.Hour})
+
+	var wg sync.WaitGroup
+	got := make([]error, 4)
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			_, got[p] = co.Classify(context.Background(), Probe{Dense: f.dense.Row(p)}, 1)
+		}(p)
+	}
+	// Give the callers time to enqueue, then close: the drain flush must
+	// answer all four.
+	time.Sleep(50 * time.Millisecond)
+	co.Close()
+	wg.Wait()
+	for p, err := range got {
+		if err != nil {
+			t.Fatalf("pre-close probe %d: %v", p, err)
+		}
+	}
+	if _, err := co.Classify(context.Background(), Probe{Dense: f.dense.Row(0)}, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Classify err = %v, want ErrClosed", err)
+	}
+	if s := co.Stats(); s.DrainFlushes != 1 {
+		t.Fatalf("drain flushes = %d, want 1 (%+v)", s.DrainFlushes, s)
+	}
+	co.Close() // idempotent
+}
+
+// A caller whose context expires while waiting unblocks with the
+// context's error; the batch still executes for everyone else.
+func TestCoalescerContextCancellation(t *testing.T) {
+	const classes, d = 7, 64
+	f := newFixture(classes, d, 2, 7)
+	eng := infer.New(infer.NewFloatBackend(f.phi, f.labels, 1))
+	co := NewCoalescer(eng, Config{MaxBatch: 1024, MaxDelay: 200 * time.Millisecond})
+	defer co.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := co.Classify(ctx, Probe{Dense: f.dense.Row(0)}, 1)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Classify err = %v, want context.Canceled", err)
+	}
+	// An uncancelled caller on the same coalescer still gets served.
+	if _, err := co.Classify(context.Background(), Probe{Dense: f.dense.Row(1)}, 1); err != nil {
+		t.Fatalf("follow-up Classify: %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	const classes, d = 7, 64
+	f := newFixture(classes, d, 1, 8)
+	reg := NewRegistry()
+	floatCo := NewCoalescer(infer.New(infer.NewFloatBackend(f.phi, f.labels, 1)), Config{})
+	binCo := NewCoalescer(infer.New(infer.NewBinaryBackend(f.im)), Config{})
+
+	if err := reg.Register("float", floatCo); err != nil {
+		t.Fatal(err)
+	}
+	// Single registered model: the empty name resolves to it.
+	if co, err := reg.Get(""); err != nil || co != floatCo {
+		t.Fatalf("Get(\"\") with one model = (%v, %v), want the model", co, err)
+	}
+	if err := reg.Register("binary", binCo); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("float", floatCo); !errors.Is(err, ErrDuplicateModel) {
+		t.Fatalf("duplicate register err = %v, want ErrDuplicateModel", err)
+	}
+	if _, err := reg.Get(""); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("ambiguous empty name err = %v, want ErrUnknownModel", err)
+	}
+	if _, err := reg.Get("nope"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown name err = %v, want ErrUnknownModel", err)
+	}
+	if names := reg.Names(); len(names) != 2 || names[0] != "binary" || names[1] != "float" {
+		t.Fatalf("Names() = %v", names)
+	}
+	reg.Close()
+	if _, err := floatCo.Classify(context.Background(), Probe{Dense: f.dense.Row(0)}, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("registry Close did not close coalescers: %v", err)
+	}
+	if len(reg.Names()) != 0 {
+		t.Fatal("registry not emptied by Close")
+	}
+}
