@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"repro/internal/hdc"
 	"repro/internal/imc"
 	"repro/internal/infer"
+	"repro/internal/nn"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
@@ -264,6 +267,69 @@ func BenchmarkServeCoalesced(b *testing.B) {
 	s := co.Stats()
 	b.Logf("coalescer: %d requests → %d batches (mean %.1f probes/batch; %d full, %d timer flushes)",
 		s.Requests, s.Batches, s.MeanBatch, s.FullFlushes, s.TimerFlushes)
+}
+
+// --- End-to-end pipeline benchmark (nn Infer + internal/infer). ---
+
+// BenchmarkEndToEndClassify measures the full embed+readout path at
+// ResNet-embedding scale — 128 raw 16×16 images through a frozen micro
+// ResNet50 (d'=256 → d=1536 projection) into a float engine over 50
+// classes — comparing the legacy serial embedding (eval Forward, the
+// pre-PR-3 wall-clock floor) against the shared-read pipeline (worker
+// goroutines sharing ONE frozen encoder via the stateless Infer path).
+// Predictions are identical by construction (Infer is bitwise equal to
+// eval Forward); the margin is the tentpole speedup and scales with
+// cores (parallel ≈ serial on a single-core runner).
+func BenchmarkEndToEndClassify(b *testing.B) {
+	const (
+		classes, d     = 50, 1536
+		img, samples   = 16, 128
+		embedBatchSize = 32
+	)
+	rng := rand.New(rand.NewSource(11))
+	enc := core.NewImageEncoder(rng, nn.MicroResNet50Config(8), d)
+	eng := infer.New(infer.NewFloatBackend(tensor.Rademacher(rng, classes, d), nil, 0.05))
+	images := tensor.Randn(rng, 1, samples, 3, img, img)
+	sample := func(lo, hi int) *tensor.Tensor {
+		sz := 3 * img * img
+		return tensor.FromSlice(images.Data[lo*sz:hi*sz], hi-lo, 3, img, img)
+	}
+
+	b.Run("serial-embed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for at := 0; at < samples; at += embedBatchSize {
+				end := min(at+embedBatchSize, samples)
+				emb := enc.Forward(sample(at, end), false)
+				eng.Query(infer.DenseBatch(emb), 1)
+			}
+		}
+	})
+	b.Run("parallel-embed", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			jobs := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					sc := nn.GetScratch()
+					defer nn.PutScratch(sc)
+					for at := range jobs {
+						end := min(at+embedBatchSize, samples)
+						sc.Reset()
+						emb := enc.Infer(sample(at, end), sc)
+						eng.Query(infer.DenseBatch(emb), 1)
+					}
+				}()
+			}
+			for at := 0; at < samples; at += embedBatchSize {
+				jobs <- at
+			}
+			close(jobs)
+			wg.Wait()
+		}
+	})
 }
 
 // BenchmarkIMCRobustness measures the analog-crossbar similarity readout

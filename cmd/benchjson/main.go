@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` output on stdin into
+// machine-readable JSON on stdout, so benchmark runs can be archived
+// and diffed across PRs (scripts/bench.sh wires it up; BENCH_pr3.json
+// is the first archived snapshot).
+//
+//	go test . -run '^$' -bench . | go run ./cmd/benchjson > bench.json
+//
+// Each benchmark line becomes one record: name (sub-benchmarks keep
+// their slash-joined names), GOMAXPROCS suffix, iteration count,
+// ns/op, and any extra value/unit pairs (B/op, allocs/op, custom
+// b.ReportMetric units). Non-benchmark lines are ignored except the
+// goos/goarch/pkg/cpu header, which is captured as run metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full converted run.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkEndToEndClassify/serial-embed-8   2   308176244 ns/op   12 B/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.e+]+) ns/op(.*)$`)
+
+// metricPair matches one trailing "<value> <unit>" measurement.
+var metricPair = regexp.MustCompile(`([0-9.e+-]+) (\S+)`)
+
+func main() {
+	var rep Report
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1]}
+		if m[2] != "" {
+			r.Procs, _ = strconv.Atoi(m[2])
+		}
+		r.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		for _, p := range metricPair.FindAllStringSubmatch(m[5], -1) {
+			v, err := strconv.ParseFloat(p[1], 64)
+			if err != nil {
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[p[2]] = v
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -13,9 +13,17 @@
 // concurrency-safe engine and coalescer, registered under its backend
 // name ("float", "binary", "imc").
 //
+// The process also serves end to end: a frozen ResNet image encoder
+// (the paper's γ at laptop scale) is registered as an embedder and run
+// through the stateless nn Infer path, so POST /v1/embed-classify
+// accepts raw image tensors and classifies them against any backend —
+// no client-side embedding required. One shared frozen network serves
+// every in-flight request concurrently.
+//
 // API:
 //
-//	POST /v1/classify  {"model":"binary","k":5,"embedding":[...]}
+//	POST /v1/classify        {"model":"binary","k":5,"embedding":[...]}
+//	POST /v1/embed-classify  {"model":"float","embedder":"resnet","k":3,"input":[...3·H·W floats...]}
 //	GET  /healthz
 //	GET  /stats
 //
@@ -23,7 +31,7 @@
 //
 //	hdcserve -classes 50 -d 1536 -addr :8080 &
 //	curl -s localhost:8080/healthz
-//	curl -s -X POST localhost:8080/v1/classify \
+//	curl -s -X POST localhost:8080/v1/classify -H 'Content-Type: application/json' \
 //	  -d '{"model":"binary","k":3,"embedding":[0.12,-0.7,...]}'
 package main
 
@@ -41,24 +49,29 @@ import (
 	"time"
 
 	"repro/internal/attrenc"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/hdc"
 	"repro/internal/imc"
 	"repro/internal/infer"
+	"repro/internal/nn"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		classes  = flag.Int("classes", 50, "number of classes in the frozen memory")
-		dim      = flag.Int("d", 1536, "hypervector dimensionality")
-		seed     = flag.Int64("seed", 1, "master seed for the synthetic class memory")
-		workers  = flag.Int("workers", 0, "engine shard workers per backend (0 = NumCPU)")
-		maxBatch = flag.Int("max-batch", 32, "coalescer: flush when this many probes are pending")
-		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "coalescer: flush at latest this long after the first pending probe")
-		backends = flag.String("backends", "float,binary,imc", "comma-separated backends to register (float, binary, imc)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		classes    = flag.Int("classes", 50, "number of classes in the frozen memory")
+		dim        = flag.Int("d", 1536, "hypervector dimensionality")
+		seed       = flag.Int64("seed", 1, "master seed for the synthetic class memory")
+		workers    = flag.Int("workers", 0, "engine shard workers per backend (0 = NumCPU)")
+		maxBatch   = flag.Int("max-batch", 32, "coalescer: flush when this many probes are pending")
+		maxDelay   = flag.Duration("max-delay", 2*time.Millisecond, "coalescer: flush at latest this long after the first pending probe")
+		backends   = flag.String("backends", "float,binary,imc", "comma-separated backends to register (float, binary, imc)")
+		embedder   = flag.Bool("embedder", true, "register the frozen ResNet image embedder for /v1/embed-classify")
+		embedImg   = flag.Int("embed-img", 16, "embedder input image size (pixels, square)")
+		embedWidth = flag.Int("embed-width", 8, "embedder ResNet base width")
 	)
 	flag.Parse()
 
@@ -68,8 +81,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	log.Printf("hdcserve: %d classes at d=%d, models %v, coalescer max-batch=%d max-delay=%v",
-		*classes, *dim, reg.Names(), *maxBatch, *maxDelay)
+	if *embedder {
+		if err := registerEmbedder(reg, *dim, *seed, *embedImg, *embedWidth); err != nil {
+			reg.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	log.Printf("hdcserve: %d classes at d=%d, models %v, embedders %v, coalescer max-batch=%d max-delay=%v",
+		*classes, *dim, reg.Names(), reg.EmbedderNames(), *maxBatch, *maxDelay)
 
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(reg)}
 	done := make(chan struct{})
@@ -153,4 +173,20 @@ func buildRegistry(classes, dim int, seed int64, workers int, backendList string
 		return nil, fmt.Errorf("no backends registered (-backends %q)", backendList)
 	}
 	return reg, nil
+}
+
+// registerEmbedder freezes a seed-deterministic ResNet image encoder
+// (micro ResNet50 topology, FC projection to the class-memory d) and
+// registers it as the "resnet" embedder. The network is never trained
+// and nothing ever calls its mutating Forward, so the one instance is
+// shared read-only by every in-flight /v1/embed-classify request
+// through the stateless nn Infer path.
+func registerEmbedder(reg *serve.Registry, dim int, seed int64, img, width int) error {
+	if img < 8 || width < 1 {
+		return fmt.Errorf("bad embedder geometry: -embed-img %d -embed-width %d", img, width)
+	}
+	rng := rand.New(rand.NewSource(seed + 0x5eed))
+	enc := core.NewImageEncoder(rng, nn.MicroResNet50Config(width), dim)
+	return reg.RegisterEmbedder("resnet",
+		serve.NewNetEmbedder("resnet", enc, []int{3, img, img}, dim))
 }

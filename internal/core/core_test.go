@@ -3,10 +3,13 @@ package core
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/attrenc"
 	"repro/internal/dataset"
+	"repro/internal/imc"
+	"repro/internal/infer"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
@@ -379,5 +382,58 @@ func TestEvalDegenerateEmptySplit(t *testing.T) {
 	}
 	if res := EvalZSC(model, d, empty); res != (ZSCResult{}) {
 		t.Fatalf("EvalZSC on empty split = %+v, want zeros", res)
+	}
+}
+
+// TestEvalDeterministicAcrossGOMAXPROCS pins the tentpole guarantee of
+// the concurrent embed pipeline: seeded ZSC/GZSL accuracies are
+// byte-identical at any core count, for both the deterministic float
+// readout and the stochastic analog crossbar (whose readout is
+// consumed strictly in batch order).
+func TestEvalDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	// Enough images per class that every evaluated population spans
+	// several embedding batches (batchSize 32): 4 test classes × 18 = 72
+	// test instances → 3 batches, 144 seen-holdout instances → 5. A
+	// single-batch split would leave the fan-out and the ordered
+	// stochastic readout unexercised.
+	dcfg := dataset.DefaultConfig()
+	dcfg.NumClasses = 12
+	dcfg.ImagesPerClass = 18
+	dcfg.Height, dcfg.Width = 12, 12
+	dcfg.Seed = 31
+	d := dataset.Generate(dcfg)
+	split := d.ZSSplit(rand.New(rand.NewSource(81)), 2.0/3)
+	cfg := tinyPipeline(31)
+	model, _ := cfg.Build(d.Schema)
+
+	crossbarEngine := func() *infer.Engine {
+		phi := ClassEmbeddings(model, d, split.TestClasses)
+		labels := ClassLabels(d, split.TestClasses)
+		be := infer.NewCrossbarBackend(phi, labels, model.Kernel.Temperature(), imc.TypicalPCM())
+		// Pin the tile layout so analog noise draws don't depend on the
+		// host's core count (same rationale as cmd/hdczsc).
+		return infer.New(be, infer.WithWorkers(2))
+	}
+
+	run := func(procs int) (ZSCResult, ZSCResult, GZSLResult) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		return EvalZSC(model, d, split),
+			EvalZSCWithEngine(model, d, split, crossbarEngine()),
+			EvalGZSL(model, d, split, split.Train)
+	}
+
+	zsc1, imc1, gzsl1 := run(1)
+	for _, procs := range []int{2, 4} {
+		zscN, imcN, gzslN := run(procs)
+		if zscN != zsc1 {
+			t.Fatalf("EvalZSC differs at GOMAXPROCS=%d: %+v vs %+v", procs, zscN, zsc1)
+		}
+		if imcN != imc1 {
+			t.Fatalf("stochastic-crossbar eval differs at GOMAXPROCS=%d: %+v vs %+v", procs, imcN, imc1)
+		}
+		if gzslN != gzsl1 {
+			t.Fatalf("EvalGZSL differs at GOMAXPROCS=%d: %+v vs %+v", procs, gzslN, gzsl1)
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/infer"
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -61,17 +62,24 @@ func EvalZSCWithEngine(m *Model, d *dataset.SynthCUB, split dataset.Split, eng *
 // engine for top-k, and returns top-1 and top-k accuracy. Probes are
 // offered dense; binary backends sign-pack them lazily via
 // Batch.SignPacked, so the float/crossbar paths never pay the packing
-// cost. The embedding stage runs serially — nn layer Forward caches
-// activations for Backward even in eval mode, so the model is not safe
-// to share across goroutines — but the readout fans out: each embedded
-// batch queries the one shared engine on its own goroutine (Engine.Query
-// is safe for concurrent callers since the sync.Pool scratch refactor).
-// In-flight queries are bounded by a semaphore, so only a handful of
-// embedded batches are pinned in memory at a time regardless of the
-// evaluation set size. Backends whose scores depend on query order
-// (the noisy crossbar consumes a per-tile read-noise stream) are
-// queried one at a time instead, so a seeded run prints the same
-// accuracies on every machine.
+// cost.
+//
+// The whole path is a bounded embed→readout pipeline on one shared
+// frozen model: embedding batches fan out across worker goroutines that
+// run the stateless nn Infer path (per-worker nn.Scratch, zero
+// steady-state allocation), and each worker queries the one shared
+// engine as soon as its batch is embedded. Accuracies are byte-identical
+// at any GOMAXPROCS: Infer is bitwise equal to eval Forward, each batch
+// is embedded by exactly one worker, and the hit counters are
+// order-independent sums.
+//
+// Backends whose scores depend on query order (the noisy crossbar
+// consumes a per-tile read-noise stream) keep concurrent embedding but
+// hand embedded batches to a single readout goroutine that consumes
+// them strictly in batch order, so a seeded run prints the same
+// accuracies on every machine and at any core count. In both modes the
+// number of embedded batches pinned in memory is bounded by the worker
+// budget regardless of the evaluation set size.
 func engineAccuracy(m *Model, d *dataset.SynthCUB, eng *infer.Engine,
 	idx []int, labelOf map[int]int, k int) (top1, topk float64) {
 
@@ -79,40 +87,113 @@ func engineAccuracy(m *Model, d *dataset.SynthCUB, eng *infer.Engine,
 		return 0, 0
 	}
 	const batchSize = 32
-	var hit1, hitK atomic.Int64
-	var wg sync.WaitGroup
-	inflight := runtime.NumCPU()
-	if sb, ok := eng.Backend().(interface{ Stochastic() bool }); ok && sb.Stochastic() {
-		inflight = 1 // keep the backend's noise stream in deterministic order
+	nBatches := (len(idx) + batchSize - 1) / batchSize
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nBatches {
+		workers = nBatches
 	}
-	sem := make(chan struct{}, inflight)
-	for at := 0; at < len(idx); at += batchSize {
-		end := minInt(at+batchSize, len(idx))
-		batch := d.MakeBatch(idx[at:end], labelOf, nil, nil)
-		emb := m.Image.Forward(batch.Images, false)
-		labels := batch.Labels
-		sem <- struct{}{}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			var h1, hK int64
-			for i, r := range eng.Query(infer.DenseBatch(emb), k) {
-				want := labels[i]
-				if r.TopK[0].Class == want {
-					h1++
-				}
-				for _, h := range r.TopK {
-					if h.Class == want {
-						hK++
-						break
-					}
+
+	var hit1, hitK atomic.Int64
+	count := func(results []infer.Result, labels []int) {
+		var h1, hK int64
+		for i, r := range results {
+			want := labels[i]
+			if r.TopK[0].Class == want {
+				h1++
+			}
+			for _, h := range r.TopK {
+				if h.Class == want {
+					hK++
+					break
 				}
 			}
-			hit1.Add(h1)
-			hitK.Add(hK)
-		}()
+		}
+		hit1.Add(h1)
+		hitK.Add(hK)
 	}
-	wg.Wait()
+	// embed assembles and embeds batch bi on the caller's scratch; the
+	// returned embedding lives in that scratch until its next Reset.
+	embed := func(sc *nn.Scratch, bi int) (*tensor.Tensor, []int) {
+		at := bi * batchSize
+		end := minInt(at+batchSize, len(idx))
+		batch := d.MakeBatch(idx[at:end], labelOf, nil, nil)
+		return m.Image.Infer(batch.Images, sc), batch.Labels
+	}
+
+	stochastic := false
+	if sb, ok := eng.Backend().(interface{ Stochastic() bool }); ok && sb.Stochastic() {
+		stochastic = true
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	if !stochastic {
+		// Fused pipeline: each worker embeds and immediately queries the
+		// shared engine (Engine.Query is safe for concurrent callers).
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := nn.GetScratch()
+				defer nn.PutScratch(sc)
+				for bi := range jobs {
+					sc.Reset()
+					emb, labels := embed(sc, bi)
+					count(eng.Query(infer.DenseBatch(emb), k), labels)
+				}
+			}()
+		}
+		for bi := 0; bi < nBatches; bi++ {
+			jobs <- bi
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		// Ordered readout: embedding still fans out, but batches are
+		// queried strictly in index order to keep the backend's noise
+		// stream deterministic. slots bounds the embedded batches pinned
+		// while they wait for their turn. The feeder acquires the slot
+		// BEFORE handing out a job, so slot holders are always the lowest
+		// outstanding batch indices — the batch the readout is waiting on
+		// always owns a slot and can finish, which rules out the deadlock
+		// where later batches exhaust every slot first.
+		type embedded struct {
+			emb    *tensor.Tensor
+			labels []int
+		}
+		ready := make([]chan embedded, nBatches)
+		for i := range ready {
+			ready[i] = make(chan embedded, 1)
+		}
+		slots := make(chan struct{}, workers+1)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := nn.GetScratch()
+				defer nn.PutScratch(sc)
+				for bi := range jobs {
+					sc.Reset()
+					emb, labels := embed(sc, bi)
+					// Clone out of the scratch: the worker moves on to its
+					// next batch before the readout consumes this one.
+					ready[bi] <- embedded{emb.Clone(), labels}
+				}
+			}()
+		}
+		go func() {
+			for bi := 0; bi < nBatches; bi++ {
+				slots <- struct{}{} // released by the readout after batch bi is consumed
+				jobs <- bi
+			}
+			close(jobs)
+		}()
+		for bi := 0; bi < nBatches; bi++ {
+			eb := <-ready[bi]
+			count(eng.Query(infer.DenseBatch(eb.emb), k), eb.labels)
+			<-slots
+		}
+		wg.Wait()
+	}
 	return float64(hit1.Load()) / float64(len(idx)), float64(hitK.Load()) / float64(len(idx))
 }

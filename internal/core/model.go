@@ -61,6 +61,19 @@ func (e *ImageEncoder) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return emb
 }
 
+// Infer computes γ(x) on a frozen encoder without touching any layer
+// state: the shared-read path of the evaluation pipeline and the
+// serving layer, safe for any number of goroutines sharing one encoder
+// (each brings its own nn.Scratch). Bitwise identical to
+// Forward(x, false).
+func (e *ImageEncoder) Infer(x *tensor.Tensor, s *nn.Scratch) *tensor.Tensor {
+	emb := e.Backbone.Infer(x, s)
+	if e.Proj != nil {
+		emb = e.Proj.Infer(emb, s)
+	}
+	return emb
+}
+
 // Backward propagates the embedding gradient through the encoder.
 func (e *ImageEncoder) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if e.Proj != nil {

@@ -14,9 +14,15 @@ type ReLU struct {
 // NewReLU returns a ReLU layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
-// Forward zeroes negative activations and records the pass-through mask.
+// Forward zeroes negative activations, recording the pass-through mask
+// for Backward only in training mode (eval retains nothing).
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := tensor.New(x.Shape()...)
+	if !train {
+		r.mask = nil
+		reluInto(out, x)
+		return out
+	}
 	r.mask = make([]bool, x.Len())
 	for i, v := range x.Data {
 		if v > 0 {
@@ -25,6 +31,22 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	}
 	return out
+}
+
+// Infer zeroes negative activations without touching layer state.
+func (r *ReLU) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	out := s.Alloc(x.Shape()...)
+	reluInto(out, x)
+	return out
+}
+
+// reluInto writes max(0, x) into the pre-zeroed out.
+func reluInto(out, x *tensor.Tensor) {
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
 }
 
 // Backward gates the incoming gradient by the forward mask.
@@ -94,6 +116,10 @@ func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	return dx
 }
 
+// Infer passes the input through unchanged (dropout is inactive at
+// inference, exactly like Forward in eval mode).
+func (d *Dropout) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor { return x }
+
 // Params returns nil; Dropout has no parameters.
 func (d *Dropout) Params() []*Param { return nil }
 
@@ -119,6 +145,13 @@ func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		panic("nn.Flatten: Backward called before Forward")
 	}
 	return dout.Reshape(f.inShape...)
+}
+
+// Infer flattens all but the batch dimension without touching layer
+// state; the result is a reshaped view sharing x's data.
+func (f *Flatten) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
 }
 
 // Params returns nil; Flatten has no parameters.

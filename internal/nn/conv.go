@@ -58,6 +58,15 @@ func (c *Conv2D) OutSize(h, w int) (int, int) {
 // pixel j.
 func (c *Conv2D) im2col(x *tensor.Tensor, n, h, w, oh, ow int) *tensor.Tensor {
 	col := tensor.New(c.inC*c.kH*c.kW, oh*ow)
+	c.im2colInto(col.Data, x, n, h, w, oh, ow)
+	return col
+}
+
+// im2colInto is im2col writing into a caller-owned buffer, which must be
+// zero-filled (padded positions are skipped, not written). It reads only
+// layer geometry, never mutable state, so the stateless inference path
+// shares it.
+func (c *Conv2D) im2colInto(dst []float32, x *tensor.Tensor, n, h, w, oh, ow int) {
 	xoff := n * c.inC * h * w
 	for ic := 0; ic < c.inC; ic++ {
 		chanOff := xoff + ic*h*w
@@ -76,13 +85,12 @@ func (c *Conv2D) im2col(x *tensor.Tensor, n, h, w, oh, ow int) *tensor.Tensor {
 						if ix < 0 || ix >= w {
 							continue
 						}
-						col.Data[dstRow+ox] = x.Data[srcRow+ix]
+						dst[dstRow+ox] = x.Data[srcRow+ix]
 					}
 				}
 			}
 		}
 	}
-	return col
 }
 
 // col2im scatters gradient columns back into an input-gradient tensor,
@@ -115,36 +123,77 @@ func (c *Conv2D) col2im(col *tensor.Tensor, dx *tensor.Tensor, n, h, w, oh, ow i
 }
 
 // Forward computes the convolution for x of shape [N, inC, H, W],
-// returning [N, outC, outH, outW].
+// returning [N, outC, outH, outW]. The input and per-sample im2col
+// matrices are cached for Backward only in training mode; eval mode
+// retains nothing, so a long-lived frozen layer doesn't pin the last
+// batch's activations.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkRank("Conv2D", x, 4)
-	if x.Dim(1) != c.inC {
-		panic(fmt.Sprintf("nn.Conv2D: input channels %d, layer expects %d", x.Dim(1), c.inC))
+	n, h, w, oh, ow := c.checkIn(x)
+	if train {
+		c.in, c.lastBatch, c.lastInH, c.lastW = x, n, h, w
+		c.outH, c.outW = oh, ow
+		c.cols = make([]*tensor.Tensor, n)
+	} else {
+		c.in, c.cols = nil, nil
 	}
-	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
-	oh, ow := c.OutSize(h, w)
-	c.in, c.lastBatch, c.lastInH, c.lastW = x, n, h, w
-	c.outH, c.outW = oh, ow
-	c.cols = make([]*tensor.Tensor, n)
 
 	out := tensor.New(n, c.outC, oh, ow)
 	for i := 0; i < n; i++ {
 		col := c.im2col(x, i, h, w, oh, ow)
-		c.cols[i] = col
+		if train {
+			c.cols[i] = col
+		}
 		y := tensor.MatMul(c.W.Value, col) // [outC, oh*ow]
 		dst := out.Data[i*c.outC*oh*ow : (i+1)*c.outC*oh*ow]
 		copy(dst, y.Data)
-		if c.B != nil {
-			for oc := 0; oc < c.outC; oc++ {
-				bo := c.B.Value.Data[oc]
-				plane := dst[oc*oh*ow : (oc+1)*oh*ow]
-				for p := range plane {
-					plane[p] += bo
-				}
-			}
-		}
+		c.addBias(dst, oh, ow)
 	}
 	return out
+}
+
+// Infer computes the convolution without touching layer state: the
+// im2col workspace is one arena buffer reused across samples, and the
+// matmul lands directly in the output plane (no intermediate copy).
+func (c *Conv2D) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	n, h, w, oh, ow := c.checkIn(x)
+	out := s.Alloc(n, c.outC, oh, ow)
+	col := s.Alloc(c.inC*c.kH*c.kW, oh*ow)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			col.Zero() // im2colInto skips padded positions; clear stale patches
+		}
+		c.im2colInto(col.Data, x, i, h, w, oh, ow)
+		plane := out.Data[i*c.outC*oh*ow : (i+1)*c.outC*oh*ow]
+		dst := tensor.FromSlice(plane, c.outC, oh*ow)
+		tensor.PMatMulInto(dst, c.W.Value, col, s.workers())
+		c.addBias(plane, oh, ow)
+	}
+	return out
+}
+
+// addBias adds the per-channel bias to one sample's output planes.
+func (c *Conv2D) addBias(dst []float32, oh, ow int) {
+	if c.B == nil {
+		return
+	}
+	for oc := 0; oc < c.outC; oc++ {
+		bo := c.B.Value.Data[oc]
+		plane := dst[oc*oh*ow : (oc+1)*oh*ow]
+		for p := range plane {
+			plane[p] += bo
+		}
+	}
+}
+
+// checkIn validates the input and returns its geometry.
+func (c *Conv2D) checkIn(x *tensor.Tensor) (n, h, w, oh, ow int) {
+	checkRank("Conv2D", x, 4)
+	if x.Dim(1) != c.inC {
+		panic(fmt.Sprintf("nn.Conv2D: input channels %d, layer expects %d", x.Dim(1), c.inC))
+	}
+	n, h, w = x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow = c.OutSize(h, w)
+	return n, h, w, oh, ow
 }
 
 // Backward accumulates weight/bias gradients and returns the input

@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// The stateless inference path.
+//
+// Layer.Forward mutates the layer even in eval mode — it may cache
+// activations for Backward — so one network cannot be shared across
+// goroutines through Forward. Infer is the shared-read alternative: a
+// frozen network is a read-only object, and everything a call needs to
+// write (activations, im2col workspace) lives in a per-call Scratch the
+// caller threads through. Any number of goroutines may Infer on one
+// network concurrently, each with its own Scratch.
+//
+// Contract for layer authors:
+//
+//   - Infer(x, s) must not write ANY layer field — parameters, running
+//     statistics, and configuration are read-only.
+//   - Output and intermediate tensors come from s.Alloc; they remain
+//     valid until the Scratch is Reset or returned to the pool. Callers
+//     that need the output to outlive the Scratch must Clone it.
+//   - Infer(x, s) must be bitwise identical to Forward(x, false) on the
+//     same frozen layer (pinned by TestInferForwardParity). Keep the
+//     arithmetic — loop order, accumulation width — in lockstep with the
+//     eval branch of Forward.
+//   - Infer must not Reset the Scratch; one scratch serves a whole
+//     network pass, and the top-level caller owns its lifecycle.
+
+// Scratch is the per-call workspace of the stateless inference path: an
+// arena for activation and im2col buffers plus the matmul worker budget.
+// A Scratch is not safe for concurrent use; use one per goroutine,
+// typically via GetScratch/PutScratch.
+type Scratch struct {
+	arena tensor.Arena
+	// Workers is the row-block worker budget layer matmuls may fan out
+	// over (tensor.PMatMulInto). It defaults to 1 — callers that already
+	// parallelize across batches (the evaluation pipeline, the serving
+	// layer under load) keep per-call compute serial; latency-sensitive
+	// single-stream callers can raise it. Results are bitwise identical
+	// for any value.
+	Workers int
+}
+
+// NewScratch returns an empty scratch with a serial worker budget.
+func NewScratch() *Scratch { return &Scratch{Workers: 1} }
+
+// Alloc returns a zero-filled arena tensor valid until Reset.
+func (s *Scratch) Alloc(shape ...int) *tensor.Tensor { return s.arena.Alloc(shape...) }
+
+// Reset reclaims every arena allocation at once, invalidating tensors
+// returned by earlier Infer calls that used this scratch.
+func (s *Scratch) Reset() { s.arena.Reset() }
+
+// workers clamps the worker budget to at least 1.
+func (s *Scratch) workers() int {
+	if s.Workers < 1 {
+		return 1
+	}
+	return s.Workers
+}
+
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// GetScratch checks a reset Scratch out of the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch resets s and returns it to the pool. Tensors allocated from
+// s become invalid; Clone anything that must survive first.
+func PutScratch(s *Scratch) {
+	s.Reset()
+	s.Workers = 1
+	scratchPool.Put(s)
+}
+
+// Inferer is the stateless inference contract (see the package comment
+// above): a frozen layer that computes its eval-mode forward pass
+// without mutating itself, allocating from the caller's Scratch. Every
+// layer in this package implements it.
+type Inferer interface {
+	Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor
+}
+
+// InferDetached runs one stateless forward pass through l with a pooled
+// Scratch and returns a caller-owned copy of the output — the
+// convenience entry point for callers that don't manage scratch reuse
+// themselves (one-shot embeddings, tests).
+func InferDetached(l Inferer, x *tensor.Tensor) *tensor.Tensor {
+	s := GetScratch()
+	y := l.Infer(x, s).Clone()
+	PutScratch(s)
+	return y
+}
+
+// asInferer asserts that a composed child layer implements the
+// inference path, with an error message that points layer authors at
+// the contract.
+func asInferer(l Layer) Inferer {
+	inf, ok := l.(Inferer)
+	if !ok {
+		panic(fmt.Sprintf(
+			"nn: layer %T implements Forward but not Infer; stateless inference requires every layer to implement Infer(x, *Scratch) — see the contract in nn/infer.go", l))
+	}
+	return inf
+}
+
+// Infer runs the chain statelessly in order.
+func (s *Sequential) Infer(x *tensor.Tensor, sc *Scratch) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = asInferer(l).Infer(x, sc)
+	}
+	return x
+}

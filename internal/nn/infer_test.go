@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// requireBitwiseEqual fails unless a and b carry identical float32 bit
+// patterns — the parity bar the Infer contract pins (not just "close").
+func requireBitwiseEqual(t *testing.T, name string, got, want *tensor.Tensor) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v, want %v", name, got.Shape(), want.Shape())
+	}
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: element %d differs: Infer %v (bits %#x) vs Forward %v (bits %#x)",
+				name, i, got.Data[i], math.Float32bits(got.Data[i]),
+				want.Data[i], math.Float32bits(want.Data[i]))
+		}
+	}
+}
+
+// inferCase is one layer (or composite) with a matching input.
+type inferCase struct {
+	name  string
+	layer Layer
+	input *tensor.Tensor
+}
+
+// inferParityCases builds every layer type plus full composites, each
+// with realistic input. The BatchNorm gets perturbed running statistics
+// so the frozen-stats path is actually exercised.
+func inferParityCases() []inferCase {
+	rng := rand.New(rand.NewSource(42))
+	bn := NewBatchNorm2D("bn", 6)
+	for ch := 0; ch < 6; ch++ {
+		bn.RunningMean.Data[ch] = rng.Float32()*2 - 1
+		bn.RunningVar.Data[ch] = 0.5 + rng.Float32()
+	}
+	flatRes := NewResNet(rng, MicroResNet50Config(4).WithFlatten(16, 16))
+	return []inferCase{
+		{"Linear+bias", NewLinear(rng, "fc", 33, 17, true), tensor.Randn(rng, 1, 5, 33)},
+		{"Linear-nobias", NewLinear(rng, "fcnb", 12, 8, false), tensor.Randn(rng, 1, 3, 12)},
+		{"Conv2D-pad", NewConv2D(rng, "conv", 3, 5, 3, 1, 1, true), tensor.Randn(rng, 1, 2, 3, 9, 9)},
+		{"Conv2D-stride", NewConv2D(rng, "convs", 4, 6, 3, 2, 1, false), tensor.Randn(rng, 1, 2, 4, 8, 8)},
+		{"Conv2D-1x1", NewConv2D(rng, "conv1", 4, 8, 1, 1, 0, false), tensor.Randn(rng, 1, 2, 4, 6, 6)},
+		{"BatchNorm2D", bn, tensor.Randn(rng, 1, 3, 6, 5, 5)},
+		{"ReLU", NewReLU(), tensor.Randn(rng, 1, 2, 40)},
+		{"Dropout", NewDropout(rng, 0.5), tensor.Randn(rng, 1, 2, 40)},
+		{"Flatten", NewFlatten(), tensor.Randn(rng, 1, 2, 3, 4, 4)},
+		{"MaxPool2D", NewMaxPool2D(2, 2), tensor.Randn(rng, 1, 2, 3, 8, 8)},
+		{"GlobalAvgPool", NewGlobalAvgPool(), tensor.Randn(rng, 1, 2, 3, 5, 5)},
+		{"Sequential-MLP", NewSequential(
+			NewLinear(rng, "s1", 20, 16, true), NewReLU(), NewLinear(rng, "s2", 16, 9, true),
+		), tensor.Randn(rng, 1, 4, 20)},
+		{"ResNet-gap", NewResNet(rng, MicroResNet50Config(4)), tensor.Randn(rng, 1, 2, 3, 16, 16)},
+		{"ResNet-flatten", flatRes, tensor.Randn(rng, 1, 2, 3, 16, 16)},
+		{"ResNet-basic", NewResNet(rng, ResNetConfig{
+			Name: "basic", StageDepths: [4]int{1, 1, 1, 1}, BaseWidth: 4, InChannels: 3,
+		}), tensor.Randn(rng, 1, 2, 3, 16, 16)},
+	}
+}
+
+// TestInferForwardParity pins the Infer contract: for every layer type
+// and full composites, Infer(x, scratch) is bitwise identical to the
+// legacy Forward(x, false) on the same frozen weights.
+func TestInferForwardParity(t *testing.T) {
+	for _, tc := range inferParityCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.layer.Forward(tc.input, false)
+			inf := asInferer(tc.layer)
+
+			s := NewScratch()
+			requireBitwiseEqual(t, tc.name, inf.Infer(tc.input, s), want)
+
+			// Same scratch after Reset, and a parallel matmul budget: both
+			// must reproduce the exact bits.
+			s.Reset()
+			s.Workers = 4
+			requireBitwiseEqual(t, tc.name+"/workers=4", inf.Infer(tc.input, s), want)
+
+			// Pooled-scratch convenience path.
+			requireBitwiseEqual(t, tc.name+"/detached", InferDetached(inf, tc.input), want)
+		})
+	}
+}
+
+// TestInferSharedNetConcurrent is the -race stress of the tentpole
+// property: one frozen network shared by many goroutines, each running
+// Infer with its own scratch, all producing the serial eval answer.
+func TestInferSharedNetConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := NewResNet(rng, MicroResNet50Config(4))
+	const goroutines, rounds = 8, 3
+
+	inputs := make([]*tensor.Tensor, goroutines)
+	wants := make([]*tensor.Tensor, goroutines)
+	for g := range inputs {
+		inputs[g] = tensor.Randn(rng, 1, 2, 3, 16, 16)
+		wants[g] = net.Forward(inputs[g], false)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sc := GetScratch()
+			defer PutScratch(sc)
+			for r := 0; r < rounds; r++ {
+				sc.Reset()
+				got := net.Infer(inputs[g], sc)
+				for i := range wants[g].Data {
+					if math.Float32bits(got.Data[i]) != math.Float32bits(wants[g].Data[i]) {
+						errs <- "concurrent Infer diverged from serial Forward"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestEvalForwardRetainsNoCaches pins the serving-process memory fix:
+// after Forward(x, false) no layer holds a reference to activation-sized
+// buffers (the legacy path kept them alive for the lifetime of the
+// layer even when no Backward could ever consume them).
+func TestEvalForwardRetainsNoCaches(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x2 := tensor.Randn(rng, 1, 4, 10)
+	x4 := tensor.Randn(rng, 1, 2, 3, 8, 8)
+
+	lin := NewLinear(rng, "fc", 10, 4, true)
+	lin.Forward(x2, true)
+	lin.Forward(x2, false)
+	if lin.in != nil {
+		t.Error("Linear retains input after eval Forward")
+	}
+
+	conv := NewConv2D(rng, "conv", 3, 4, 3, 1, 1, false)
+	conv.Forward(x4, true)
+	conv.Forward(x4, false)
+	if conv.in != nil || conv.cols != nil {
+		t.Error("Conv2D retains input/im2col caches after eval Forward")
+	}
+
+	bn := NewBatchNorm2D("bn", 3)
+	bn.Forward(x4, true)
+	bn.Forward(x4, false)
+	if bn.xhat != nil || bn.invStd != nil {
+		t.Error("BatchNorm2D retains normalized activations after eval Forward")
+	}
+
+	relu := NewReLU()
+	relu.Forward(x2, true)
+	relu.Forward(x2, false)
+	if relu.mask != nil {
+		t.Error("ReLU retains mask after eval Forward")
+	}
+
+	mp := NewMaxPool2D(2, 2)
+	mp.Forward(x4, true)
+	mp.Forward(x4, false)
+	if mp.argmax != nil {
+		t.Error("MaxPool2D retains argmax after eval Forward")
+	}
+}
+
+// TestBatchNormEvalKeepsRunningStats guards the frozen-stats invariant
+// both eval paths rely on: neither Forward(x, false) nor Infer updates
+// the running estimates.
+func TestBatchNormEvalKeepsRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	bn := NewBatchNorm2D("bn", 3)
+	x := tensor.Randn(rng, 1, 2, 3, 4, 4)
+	bn.Forward(x, true) // move stats off their init values
+	mean := bn.RunningMean.Clone()
+	vari := bn.RunningVar.Clone()
+
+	bn.Forward(x, false)
+	InferDetached(bn, x)
+
+	for ch := 0; ch < 3; ch++ {
+		if bn.RunningMean.Data[ch] != mean.Data[ch] || bn.RunningVar.Data[ch] != vari.Data[ch] {
+			t.Fatal("eval path moved the running statistics")
+		}
+	}
+}
+
+// BenchmarkResNetInfer measures the stateless path at the same scale as
+// BenchmarkResNetForward for a direct allocation/throughput comparison.
+func BenchmarkResNetInfer(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewResNet(rng, MicroResNet50Config(6))
+	x := tensor.Randn(rng, 1, 4, 3, 16, 16)
+	sc := NewScratch()
+	net.Infer(x, sc) // size the arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Reset()
+		net.Infer(x, sc)
+	}
+}

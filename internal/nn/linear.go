@@ -37,19 +37,48 @@ func (l *Linear) InDim() int { return l.W.Value.Dim(0) }
 // OutDim returns the output feature dimension.
 func (l *Linear) OutDim() int { return l.out }
 
-// Forward computes x·W (+ b) for x of shape [N, in].
+// Forward computes x·W (+ b) for x of shape [N, in]. The input is
+// cached for Backward only in training mode; in eval mode no reference
+// is retained, so long-lived serving processes don't pin the last batch.
 func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkRank("Linear", x, 2)
-	if x.Dim(1) != l.W.Value.Dim(0) {
-		panic(fmt.Sprintf("nn.Linear: input dim %d does not match weight in-dim %d",
-			x.Dim(1), l.W.Value.Dim(0)))
+	l.checkIn(x)
+	if train {
+		l.in = x
+	} else {
+		l.in = nil
 	}
-	l.in = x
 	y := tensor.MatMul(x, l.W.Value)
 	if l.B != nil {
 		y = tensor.AddRowVector(y, l.B.Value)
 	}
 	return y
+}
+
+// Infer computes x·W (+ b) without touching layer state; see the
+// contract in infer.go.
+func (l *Linear) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	l.checkIn(x)
+	y := s.Alloc(x.Dim(0), l.out)
+	tensor.PMatMulInto(y, x, l.W.Value, s.workers())
+	if l.B != nil {
+		rows := x.Dim(0)
+		for r := 0; r < rows; r++ {
+			yr := y.Row(r)
+			for c, bv := range l.B.Value.Data {
+				yr[c] += bv
+			}
+		}
+	}
+	return y
+}
+
+// checkIn validates the input shape against the weight matrix.
+func (l *Linear) checkIn(x *tensor.Tensor) {
+	checkRank("Linear", x, 2)
+	if x.Dim(1) != l.W.Value.Dim(0) {
+		panic(fmt.Sprintf("nn.Linear: input dim %d does not match weight in-dim %d",
+			x.Dim(1), l.W.Value.Dim(0)))
+	}
 }
 
 // Backward accumulates dW = xᵀ·dout and db = Σ_rows dout, returning

@@ -43,45 +43,43 @@ func NewBatchNorm2D(name string, c int) *BatchNorm2D {
 // estimates, which keeps inference deterministic (the paper's stationary
 // deployment).
 func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	checkRank("BatchNorm2D", x, 4)
-	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	if c != bn.Gamma.Value.Len() {
-		panic(fmt.Sprintf("nn.BatchNorm2D: %d channels, layer has %d", c, bn.Gamma.Value.Len()))
-	}
+	n, c, h, w := bn.checkIn(x)
 	plane := h * w
 	count := n * plane
 	out := tensor.New(n, c, h, w)
+	if !train {
+		// Eval mode retains nothing for Backward: normalize with the frozen
+		// running statistics and drop any stale training caches.
+		bn.xhat, bn.invStd, bn.lastShape = nil, nil, nil
+		bn.normalizeFrozen(x, out, n, c, plane)
+		return out
+	}
 	bn.xhat = tensor.New(n, c, h, w)
 	bn.invStd = make([]float32, c)
 	bn.lastShape = []int{n, c, h, w}
 
 	for ch := 0; ch < c; ch++ {
-		var mean, variance float32
-		if train {
-			var s float64
-			for i := 0; i < n; i++ {
-				base := (i*c + ch) * plane
-				for p := 0; p < plane; p++ {
-					s += float64(x.Data[base+p])
-				}
+		var s float64
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for p := 0; p < plane; p++ {
+				s += float64(x.Data[base+p])
 			}
-			mean = float32(s / float64(count))
-			var sv float64
-			for i := 0; i < n; i++ {
-				base := (i*c + ch) * plane
-				for p := 0; p < plane; p++ {
-					d := float64(x.Data[base+p] - mean)
-					sv += d * d
-				}
-			}
-			variance = float32(sv / float64(count))
-			m := bn.Momentum
-			bn.RunningMean.Data[ch] = m*bn.RunningMean.Data[ch] + (1-m)*mean
-			bn.RunningVar.Data[ch] = m*bn.RunningVar.Data[ch] + (1-m)*variance
-		} else {
-			mean = bn.RunningMean.Data[ch]
-			variance = bn.RunningVar.Data[ch]
 		}
+		mean := float32(s / float64(count))
+		var sv float64
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for p := 0; p < plane; p++ {
+				d := float64(x.Data[base+p] - mean)
+				sv += d * d
+			}
+		}
+		variance := float32(sv / float64(count))
+		m := bn.Momentum
+		bn.RunningMean.Data[ch] = m*bn.RunningMean.Data[ch] + (1-m)*mean
+		bn.RunningVar.Data[ch] = m*bn.RunningVar.Data[ch] + (1-m)*variance
+
 		inv := float32(1 / math.Sqrt(float64(variance)+float64(bn.Eps)))
 		bn.invStd[ch] = inv
 		g, b := bn.Gamma.Value.Data[ch], bn.Beta.Value.Data[ch]
@@ -95,6 +93,43 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	}
 	return out
+}
+
+// Infer normalizes with the frozen running statistics without touching
+// any layer state; bitwise identical to Forward(x, false).
+func (bn *BatchNorm2D) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	n, c, h, w := bn.checkIn(x)
+	out := s.Alloc(n, c, h, w)
+	bn.normalizeFrozen(x, out, n, c, h*w)
+	return out
+}
+
+// normalizeFrozen writes γ·(x−μ̂)/σ̂+β per channel using the running
+// statistics; shared by eval Forward and Infer, and read-only on bn.
+func (bn *BatchNorm2D) normalizeFrozen(x, out *tensor.Tensor, n, c, plane int) {
+	for ch := 0; ch < c; ch++ {
+		mean := bn.RunningMean.Data[ch]
+		variance := bn.RunningVar.Data[ch]
+		inv := float32(1 / math.Sqrt(float64(variance)+float64(bn.Eps)))
+		g, b := bn.Gamma.Value.Data[ch], bn.Beta.Value.Data[ch]
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * plane
+			for p := 0; p < plane; p++ {
+				xh := (x.Data[base+p] - mean) * inv
+				out.Data[base+p] = g*xh + b
+			}
+		}
+	}
+}
+
+// checkIn validates the input and returns its dimensions.
+func (bn *BatchNorm2D) checkIn(x *tensor.Tensor) (n, c, h, w int) {
+	checkRank("BatchNorm2D", x, 4)
+	n, c, h, w = x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != bn.Gamma.Value.Len() {
+		panic(fmt.Sprintf("nn.BatchNorm2D: %d channels, layer has %d", c, bn.Gamma.Value.Len()))
+	}
+	return n, c, h, w
 }
 
 // Backward implements the standard batch-norm gradient:

@@ -22,19 +22,45 @@ func NewMaxPool2D(kernel, stride int) *MaxPool2D {
 	return &MaxPool2D{Kernel: kernel, Stride: stride}
 }
 
-// Forward pools x [N,C,H,W] to [N,C,H',W'], recording argmax positions.
+// Forward pools x [N,C,H,W] to [N,C,H',W'], recording argmax positions
+// for Backward only in training mode (eval retains nothing).
 func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(m.outShape(x)...)
+	if train {
+		m.inShape = x.Shape()
+		m.argmax = make([]int, out.Len())
+	} else {
+		m.inShape, m.argmax = nil, nil
+	}
+	m.poolInto(out, x, m.argmax)
+	return out
+}
+
+// Infer pools without touching layer state.
+func (m *MaxPool2D) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	out := s.Alloc(m.outShape(x)...)
+	m.poolInto(out, x, nil)
+	return out
+}
+
+// outShape validates the input and returns the pooled output shape.
+func (m *MaxPool2D) outShape(x *tensor.Tensor) []int {
 	checkRank("MaxPool2D", x, 4)
-	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	h, w := x.Dim(2), x.Dim(3)
 	oh := (h-m.Kernel)/m.Stride + 1
 	ow := (w-m.Kernel)/m.Stride + 1
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn.MaxPool2D: input %dx%d too small for kernel %d stride %d",
 			h, w, m.Kernel, m.Stride))
 	}
-	m.inShape = []int{n, c, h, w}
-	out := tensor.New(n, c, oh, ow)
-	m.argmax = make([]int, out.Len())
+	return []int{x.Dim(0), x.Dim(1), oh, ow}
+}
+
+// poolInto writes the pooled maxima into out; when argmax is non-nil it
+// also records the winning input index per output element.
+func (m *MaxPool2D) poolInto(out, x *tensor.Tensor, argmax []int) {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := out.Dim(2), out.Dim(3)
 	oi := 0
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -52,13 +78,14 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 						}
 					}
 					out.Data[oi] = best
-					m.argmax[oi] = bestIdx
+					if argmax != nil {
+						argmax[oi] = bestIdx
+					}
 					oi++
 				}
 			}
 		}
 	}
-	return out
 }
 
 // Backward routes each output gradient to the input position that won the
@@ -87,13 +114,32 @@ type GlobalAvgPool struct {
 // NewGlobalAvgPool returns a global average pooling layer.
 func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
 
-// Forward averages over the spatial axes.
+// Forward averages over the spatial axes, recording the input shape for
+// Backward only in training mode.
 func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkRank("GlobalAvgPool", x, 4)
+	if train {
+		g.inShape = x.Shape()
+	} else {
+		g.inShape = nil
+	}
+	out := tensor.New(x.Dim(0), x.Dim(1))
+	avgPoolInto(out, x)
+	return out
+}
+
+// Infer averages over the spatial axes without touching layer state.
+func (g *GlobalAvgPool) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	checkRank("GlobalAvgPool", x, 4)
+	out := s.Alloc(x.Dim(0), x.Dim(1))
+	avgPoolInto(out, x)
+	return out
+}
+
+// avgPoolInto writes the per-channel spatial means into out [N, C].
+func avgPoolInto(out, x *tensor.Tensor) {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	g.inShape = []int{n, c, h, w}
 	plane := h * w
-	out := tensor.New(n, c)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
 			base := (i*c + ch) * plane
@@ -104,7 +150,6 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			out.Data[i*c+ch] = float32(s / float64(plane))
 		}
 	}
-	return out
 }
 
 // Backward spreads each channel gradient uniformly over the plane.

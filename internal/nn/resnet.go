@@ -111,7 +111,6 @@ type residualBlock struct {
 	main     *Sequential
 	shortcut *Sequential // nil for identity
 	relu     *ReLU
-	lastX    *tensor.Tensor
 }
 
 func newResidualBlock(rng *rand.Rand, name string, inC, width, stride int, bottleneck bool) *residualBlock {
@@ -150,7 +149,6 @@ func newResidualBlock(rng *rand.Rand, name string, inC, width, stride int, bottl
 
 // Forward computes relu(main(x) + shortcut(x)).
 func (b *residualBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	b.lastX = x
 	y := b.main.Forward(x, train)
 	var sc *tensor.Tensor
 	if b.shortcut != nil {
@@ -159,6 +157,24 @@ func (b *residualBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		sc = x
 	}
 	return b.relu.Forward(tensor.Add(y, sc), train)
+}
+
+// Infer computes relu(main(x) + shortcut(x)) without touching block
+// state, fusing the residual add with the activation. The fused
+// elementwise pass is bitwise identical to Add-then-ReLU.
+func (b *residualBlock) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	y := b.main.Infer(x, s)
+	sc := x
+	if b.shortcut != nil {
+		sc = b.shortcut.Infer(x, s)
+	}
+	out := s.Alloc(y.Shape()...)
+	for i, v := range y.Data {
+		if v += sc.Data[i]; v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
 }
 
 // Backward splits the gradient between the main branch and the shortcut
@@ -230,6 +246,13 @@ func NewResNet(rng *rand.Rand, cfg ResNetConfig) *ResNet {
 // Forward maps images [N, C, H, W] to embeddings [N, OutDim].
 func (r *ResNet) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return r.body.Forward(x, train)
+}
+
+// Infer maps images to embeddings without touching backbone state: the
+// shared-read path any number of goroutines may run concurrently on one
+// frozen backbone, each with its own Scratch.
+func (r *ResNet) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
+	return r.body.Infer(x, s)
 }
 
 // Backward propagates the embedding gradient back to the image gradient.

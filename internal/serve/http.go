@@ -3,7 +3,21 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"mime"
 	"net/http"
+	"slices"
+
+	"repro/internal/infer"
+	"repro/internal/tensor"
+)
+
+// Request body size caps, enforced with http.MaxBytesReader before any
+// JSON decoding. Classify carries one embedding (~tens of KB at the
+// paper's d); embed-classify carries a raw input tensor and gets more
+// headroom.
+const (
+	maxClassifyBody = 1 << 20 // 1 MiB
+	maxEmbedBody    = 8 << 20 // 8 MiB
 )
 
 // ClassifyRequest is the POST /v1/classify body. Embedding is the dense
@@ -32,10 +46,39 @@ type ClassifyResponse struct {
 	TopK  []ClassifyHit `json:"topk"`
 }
 
+// EmbedClassifyRequest is the POST /v1/embed-classify body: a raw
+// per-sample input (flattened, row-major) that the named embedder turns
+// into a probe before the usual coalesced readout — the end-to-end
+// serving path.
+type EmbedClassifyRequest struct {
+	// Model names the backend to classify against; optional when exactly
+	// one model is registered.
+	Model string `json:"model,omitempty"`
+	// Embedder names the registered embedder; optional when exactly one
+	// is registered.
+	Embedder string `json:"embedder,omitempty"`
+	// K is the number of ranked hits to return (default 1).
+	K int `json:"k,omitempty"`
+	// Shape optionally asserts the per-sample input shape; it must match
+	// the embedder's expected shape when present.
+	Shape []int `json:"shape,omitempty"`
+	// Input is one sample, flattened row-major to the embedder's input
+	// shape (e.g. C·H·W values for an image embedder).
+	Input []float32 `json:"input"`
+}
+
+// EmbedClassifyResponse is the POST /v1/embed-classify reply.
+type EmbedClassifyResponse struct {
+	Model    string        `json:"model"`
+	Embedder string        `json:"embedder"`
+	TopK     []ClassifyHit `json:"topk"`
+}
+
 // healthResponse is the GET /healthz reply.
 type healthResponse struct {
-	Status string   `json:"status"`
-	Models []string `json:"models"`
+	Status    string   `json:"status"`
+	Models    []string `json:"models"`
+	Embedders []string `json:"embedders,omitempty"`
 }
 
 // modelStats is one model's entry in the GET /stats reply.
@@ -51,15 +94,20 @@ type modelStats struct {
 
 // NewHandler builds the HTTP JSON API over a registry:
 //
-//	POST /v1/classify  — classify one embedding against a named model
-//	GET  /healthz      — liveness plus the registered model names
-//	GET  /stats        — per-model coalescer counters
+//	POST /v1/classify        — classify one embedding against a named model
+//	POST /v1/embed-classify  — embed one raw input, then classify it
+//	GET  /healthz            — liveness plus registered model/embedder names
+//	GET  /stats              — per-model coalescer counters
+//
+// Every handler is registered with a method-specific pattern, so a
+// wrong-method request gets a uniform 405 from the mux. POST bodies are
+// size-capped and must be JSON (an explicit non-JSON Content-Type is
+// rejected with 415).
 func NewHandler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
 		var req ClassifyRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		if !decodeJSON(w, r, maxClassifyBody, &req) {
 			return
 		}
 		co, err := reg.Get(req.Model)
@@ -69,24 +117,71 @@ func NewHandler(reg *Registry) http.Handler {
 		}
 		res, err := co.Classify(r.Context(), Probe{Dense: req.Embedding}, req.K)
 		if err != nil {
-			switch {
-			case errors.Is(err, ErrBadProbe):
-				httpError(w, http.StatusBadRequest, err.Error())
-			case errors.Is(err, ErrClosed):
-				httpError(w, http.StatusServiceUnavailable, err.Error())
-			default:
-				httpError(w, http.StatusInternalServerError, err.Error())
-			}
+			classifyError(w, err)
 			return
 		}
-		resp := ClassifyResponse{Model: co.Engine().Backend().Name()}
-		for _, h := range res.TopK {
-			resp.TopK = append(resp.TopK, ClassifyHit{Class: h.Class, Label: h.Label, Score: h.Score})
+		writeJSON(w, http.StatusOK, ClassifyResponse{
+			Model: co.Engine().Backend().Name(),
+			TopK:  toHits(res.TopK),
+		})
+	})
+	mux.HandleFunc("POST /v1/embed-classify", func(w http.ResponseWriter, r *http.Request) {
+		var req EmbedClassifyRequest
+		if !decodeJSON(w, r, maxEmbedBody, &req) {
+			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		emb, err := reg.Embedder(req.Embedder)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		co, err := reg.Get(req.Model)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		shape := emb.InShape()
+		if req.Shape != nil && !slices.Equal(req.Shape, shape) {
+			httpError(w, http.StatusBadRequest,
+				ErrBadInput.Error()+": request shape does not match the embedder's input shape")
+			return
+		}
+		want := 1
+		for _, s := range shape {
+			want *= s
+		}
+		if len(req.Input) != want {
+			httpError(w, http.StatusBadRequest,
+				ErrBadInput.Error()+": input element count does not match the embedder's input shape")
+			return
+		}
+		x := tensor.FromSlice(req.Input, append([]int{1}, shape...)...)
+		probe, err := emb.Embed(x)
+		if err != nil {
+			// Input geometry was validated above, so a failure here is a
+			// server-side embedder problem unless it says otherwise.
+			code := http.StatusInternalServerError
+			if errors.Is(err, ErrBadInput) {
+				code = http.StatusBadRequest
+			}
+			httpError(w, code, err.Error())
+			return
+		}
+		res, err := co.Classify(r.Context(), Probe{Dense: probe.Row(0)}, req.K)
+		if err != nil {
+			classifyError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, EmbedClassifyResponse{
+			Model:    co.Engine().Backend().Name(),
+			Embedder: emb.Name(),
+			TopK:     toHits(res.TopK),
+		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Models: reg.Names()})
+		writeJSON(w, http.StatusOK, healthResponse{
+			Status: "ok", Models: reg.Names(), Embedders: reg.EmbedderNames(),
+		})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		out := make(map[string]modelStats)
@@ -109,6 +204,53 @@ func NewHandler(reg *Registry) http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 	return mux
+}
+
+// decodeJSON enforces the shared POST-body policy — JSON content type,
+// size cap, well-formed body — writing the error response itself and
+// returning false when the request should not proceed.
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != "application/json" {
+			httpError(w, http.StatusUnsupportedMediaType,
+				"unsupported content type "+ct+": want application/json")
+			return false
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+			return false
+		}
+		httpError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// classifyError maps Coalescer.Classify errors onto status codes,
+// shared by both classification endpoints.
+func classifyError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBadProbe):
+		httpError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// toHits converts engine hits to the JSON response shape.
+func toHits(top []infer.Hit) []ClassifyHit {
+	out := make([]ClassifyHit, 0, len(top))
+	for _, h := range top {
+		out = append(out, ClassifyHit{Class: h.Class, Label: h.Label, Score: h.Score})
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

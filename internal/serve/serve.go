@@ -12,9 +12,13 @@
 //     percent of raw batched-Query throughput (see BenchmarkServeCoalesced
 //     at the repo root) without ever seeing a batch.
 //   - Registry: a named model table, so one process serves the float,
-//     packed-binary, and analog-crossbar backends side by side.
+//     packed-binary, and analog-crossbar backends side by side. It also
+//     names Embedders: frozen networks run through the stateless nn
+//     Infer path, turning raw inputs into probes so the process serves
+//     end to end (raw input → embed → coalesce → readout).
 //   - Handler: a net/http JSON API over a Registry — POST /v1/classify,
-//     GET /healthz, GET /stats — the surface cmd/hdcserve exposes.
+//     POST /v1/embed-classify, GET /healthz, GET /stats — the surface
+//     cmd/hdcserve exposes.
 //
 // The layer holds no model state of its own: every scaling feature the
 // ROADMAP plans (result caching, async serving, multi-node sharding)
@@ -37,6 +41,13 @@ var (
 	ErrUnknownModel = errors.New("serve: unknown model")
 	// ErrDuplicateModel: a model is already registered under the name.
 	ErrDuplicateModel = errors.New("serve: duplicate model")
+	// ErrUnknownEmbedder: the registry holds no embedder under the name.
+	ErrUnknownEmbedder = errors.New("serve: unknown embedder")
+	// ErrDuplicateEmbedder: an embedder is already registered under the name.
+	ErrDuplicateEmbedder = errors.New("serve: duplicate embedder")
+	// ErrBadInput: a raw embed input is missing, malformed, or does not
+	// match the embedder's input geometry.
+	ErrBadInput = errors.New("serve: bad embed input")
 )
 
 // Config is the coalescer's admission policy.

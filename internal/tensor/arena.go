@@ -1,0 +1,63 @@
+package tensor
+
+// Arena is a slab-backed bump allocator for short-lived tensors: the
+// per-call workspace of the stateless inference path (internal/nn
+// Scratch) and any other hot loop that would otherwise allocate
+// activation-sized tensors on every call.
+//
+// Alloc carves zero-filled tensors out of large reusable slabs; Reset
+// reclaims everything at once. An Arena is NOT safe for concurrent use —
+// the intended pattern is one arena per goroutine (checked out of a
+// sync.Pool), reset between independent inference calls.
+type Arena struct {
+	slabs [][]float32 // slabs[len-1] is the active slab
+	off   int         // bump offset into the active slab
+	total int         // total capacity across all slabs
+}
+
+// arenaMinSlab is the minimum slab size in float32 elements (256 KiB).
+// Small enough that a lone Linear layer doesn't pin megabytes, large
+// enough that a ResNet forward touches only a handful of slabs before
+// the first Reset coalesces them.
+const arenaMinSlab = 1 << 16
+
+// alloc returns a zeroed slice of n float32s carved from the arena.
+func (a *Arena) alloc(n int) []float32 {
+	if len(a.slabs) == 0 || n > len(a.slabs[len(a.slabs)-1])-a.off {
+		size := arenaMinSlab
+		if n > size {
+			size = n
+		}
+		a.slabs = append(a.slabs, make([]float32, size))
+		a.total += size
+		a.off = 0
+	}
+	slab := a.slabs[len(a.slabs)-1]
+	out := slab[a.off : a.off+n : a.off+n]
+	a.off += n
+	clear(out)
+	return out
+}
+
+// Alloc returns a zero-filled tensor of the given shape backed by the
+// arena. The tensor is valid until the next Reset; callers that need it
+// to outlive the arena must Clone it first.
+func (a *Arena) Alloc(shape ...int) *Tensor {
+	n := checkShape("Arena.Alloc", shape)
+	return &Tensor{Data: a.alloc(n), shape: append([]int(nil), shape...)}
+}
+
+// Reset reclaims every allocation at once, invalidating all tensors
+// handed out since the previous Reset. If the arena overflowed into
+// multiple slabs, they are coalesced into one slab of the combined
+// capacity, so the steady state after the first full pass is a single
+// slab and zero per-call allocations.
+func (a *Arena) Reset() {
+	if len(a.slabs) > 1 {
+		a.slabs = [][]float32{make([]float32, a.total)}
+	}
+	a.off = 0
+}
+
+// Cap returns the arena's total capacity in float32 elements.
+func (a *Arena) Cap() int { return a.total }

@@ -48,6 +48,36 @@ func matmulInto(dst, a, b []float32, m, k, n int) {
 	}
 }
 
+// MatMulInto computes a[m,k] × b[k,n] into dst[m,n] without allocating,
+// overwriting dst's contents. dst must not alias a or b. The result is
+// bitwise identical to MatMul (same kernel, same accumulation order);
+// this is the non-allocating variant hot paths use with arena- or
+// pool-backed destinations.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	m, k, n := checkMatMulShapes("MatMulInto", dst, a, b)
+	clear(dst.Data)
+	matmulInto(dst.Data, a.Data, b.Data, m, k, n)
+	return dst
+}
+
+// checkMatMulShapes validates dst[m,n] = a[m,k] × b[k,n] and returns the
+// dimensions; shared by the Into variants.
+func checkMatMulShapes(op string, dst, a, b *Tensor) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic(fmt.Sprintf("tensor.%s: want rank-2 operands, have dst %v, %v × %v",
+			op, dst.shape, a.shape, b.shape))
+	}
+	m, k = a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor.%s: inner dimensions differ: %v × %v", op, a.shape, b.shape))
+	}
+	if dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor.%s: dst shape %v, want [%d %d]", op, dst.shape, m, n))
+	}
+	return m, k, n
+}
+
 // MatMulT computes a[m,k] × bᵀ where b is [n,k], i.e. the product against
 // the transpose without materializing it. This is the natural layout for
 // cosine-similarity kernels (rows of b are class/attribute embeddings) and
@@ -62,11 +92,45 @@ func MatMulT(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor.MatMulT: inner dimensions differ: %v × %vᵀ", a.shape, b.shape))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		oi := out.Data[i*n : (i+1)*n]
+	matmulTRows(out.Data, a.Data, b.Data, 0, m, k, n)
+	return out
+}
+
+// MatMulTInto computes a[m,k] × bᵀ (b is [n,k]) into dst[m,n] without
+// allocating, overwriting dst's contents. dst must not alias a or b.
+// Bitwise identical to MatMulT.
+func MatMulTInto(dst, a, b *Tensor) *Tensor {
+	m, k, n := checkMatMulTShapes("MatMulTInto", dst, a, b)
+	matmulTRows(dst.Data, a.Data, b.Data, 0, m, k, n)
+	return dst
+}
+
+// checkMatMulTShapes validates dst[m,n] = a[m,k] × bᵀ (b is [n,k]) and
+// returns the dimensions; shared by the transpose Into variants.
+func checkMatMulTShapes(op string, dst, a, b *Tensor) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic(fmt.Sprintf("tensor.%s: want rank-2 operands, have dst %v, %v × %vᵀ",
+			op, dst.shape, a.shape, b.shape))
+	}
+	m, k = a.Dim(0), a.Dim(1)
+	n, k2 := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor.%s: inner dimensions differ: %v × %vᵀ", op, a.shape, b.shape))
+	}
+	if dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor.%s: dst shape %v, want [%d %d]", op, dst.shape, m, n))
+	}
+	return m, k, n
+}
+
+// matmulTRows computes rows [lo, hi) of dst = a × bᵀ; the row-range form
+// both Into variants and the parallel driver share.
+func matmulTRows(dst, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : (i+1)*k]
+		oi := dst[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			bj := b.Data[j*k : (j+1)*k]
+			bj := b[j*k : (j+1)*k]
 			var s float32
 			for p := range ai {
 				s += ai[p] * bj[p]
@@ -74,7 +138,6 @@ func MatMulT(a, b *Tensor) *Tensor {
 			oi[j] = s
 		}
 	}
-	return out
 }
 
 // TMatMul computes aᵀ × b where a is [k,m] and b is [k,n] → [m,n], i.e.

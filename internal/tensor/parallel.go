@@ -1,0 +1,67 @@
+package tensor
+
+import "sync"
+
+// Row-tiled parallel matmul drivers. Work is partitioned over contiguous
+// output-row blocks, one goroutine per block: every output row is
+// produced by exactly one worker running the serial kernel in the serial
+// loop order, so results are bitwise identical to the single-threaded
+// Into variants for ANY worker count. That invariant is what lets the
+// shared-read inference path parallelize without perturbing seeded
+// evaluation numbers.
+
+// ParallelRows partitions [0, rows) into at most workers near-equal
+// contiguous blocks and runs fn(lo, hi) for each block on its own
+// goroutine, returning when all blocks are done. workers ≤ 1 (or a
+// single row) runs fn inline with no goroutine overhead.
+func ParallelRows(rows, workers int, fn func(lo, hi int)) {
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		if rows > 0 {
+			fn(0, rows)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	base, extra := rows/workers, rows%workers
+	lo := 0
+	for i := 0; i < workers; i++ {
+		w := base
+		if i < extra {
+			w++
+		}
+		hi := lo + w
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// PMatMulInto computes a[m,k] × b[k,n] into dst[m,n] like MatMulInto,
+// fanning contiguous row blocks of the output across at most workers
+// goroutines. Bitwise identical to MatMulInto for any worker count.
+func PMatMulInto(dst, a, b *Tensor, workers int) *Tensor {
+	m, k, n := checkMatMulShapes("PMatMulInto", dst, a, b)
+	clear(dst.Data)
+	ParallelRows(m, workers, func(lo, hi int) {
+		matmulInto(dst.Data[lo*n:hi*n], a.Data[lo*k:hi*k], b.Data, hi-lo, k, n)
+	})
+	return dst
+}
+
+// PMatMulTInto computes a[m,k] × bᵀ (b is [n,k]) into dst[m,n] like
+// MatMulTInto, fanning row blocks across at most workers goroutines.
+// Bitwise identical to MatMulTInto for any worker count.
+func PMatMulTInto(dst, a, b *Tensor, workers int) *Tensor {
+	m, k, n := checkMatMulTShapes("PMatMulTInto", dst, a, b)
+	ParallelRows(m, workers, func(lo, hi int) {
+		matmulTRows(dst.Data, a.Data, b.Data, lo, hi, k, n)
+	})
+	return dst
+}

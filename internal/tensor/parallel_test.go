@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bitsEqual reports whether two tensors are bitwise identical (exact
+// float32 bit patterns, not just numerically close).
+func bitsEqual(a, b *Tensor) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatMulIntoMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Randn(rng, 1, 37, 53)
+	b := Randn(rng, 1, 53, 29)
+	want := MatMul(a, b)
+	dst := Full(99, 37, 29) // stale contents must be overwritten
+	MatMulInto(dst, a, b)
+	if !bitsEqual(dst, want) {
+		t.Fatal("MatMulInto differs from MatMul")
+	}
+}
+
+func TestMatMulTIntoMatchesMatMulT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Randn(rng, 1, 17, 64)
+	b := Randn(rng, 1, 23, 64)
+	want := MatMulT(a, b)
+	dst := Full(-3, 17, 23)
+	MatMulTInto(dst, a, b)
+	if !bitsEqual(dst, want) {
+		t.Fatal("MatMulTInto differs from MatMulT")
+	}
+}
+
+// TestParallelMatMulBitwiseAcrossWorkers pins the invariant the
+// shared-read inference path depends on: the row-tiled parallel drivers
+// produce bit-identical results for every worker count, because each
+// output row is computed by exactly one worker in serial kernel order.
+func TestParallelMatMulBitwiseAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Randn(rng, 1, 70, 130) // sizes straddle blockSize boundaries
+	b := Randn(rng, 1, 130, 66)
+	bt := Transpose2D(b)
+	want := MatMul(a, b)
+	for _, workers := range []int{0, 1, 2, 3, 7, 70, 1000} {
+		dst := New(70, 66)
+		PMatMulInto(dst, a, b, workers)
+		if !bitsEqual(dst, want) {
+			t.Fatalf("PMatMulInto(workers=%d) differs from serial MatMul", workers)
+		}
+		dstT := New(70, 66)
+		PMatMulTInto(dstT, a, bt, workers)
+		if !bitsEqual(dstT, MatMulT(a, bt)) {
+			t.Fatalf("PMatMulTInto(workers=%d) differs from serial MatMulT", workers)
+		}
+	}
+}
+
+func TestParallelRowsCoversEveryRowOnce(t *testing.T) {
+	for _, rows := range []int{0, 1, 2, 5, 64} {
+		for _, workers := range []int{1, 2, 3, 64, 100} {
+			seen := make([]int32, rows)
+			ParallelRows(rows, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					seen[i]++ // blocks are disjoint, so no atomics needed
+				}
+			})
+			for i, n := range seen {
+				if n != 1 {
+					t.Fatalf("rows=%d workers=%d: row %d covered %d times", rows, workers, i, n)
+				}
+			}
+		}
+	}
+}
+
+func TestArenaAllocZeroedAndAliasedFree(t *testing.T) {
+	var a Arena
+	x := a.Alloc(4, 8)
+	for i := range x.Data {
+		if x.Data[i] != 0 {
+			t.Fatal("fresh arena allocation not zeroed")
+		}
+		x.Data[i] = 7
+	}
+	y := a.Alloc(4, 8)
+	for _, v := range y.Data {
+		if v != 0 {
+			t.Fatal("second allocation overlaps the first or is not zeroed")
+		}
+	}
+	a.Reset()
+	z := a.Alloc(4, 8)
+	for _, v := range z.Data {
+		if v != 0 {
+			t.Fatal("post-Reset allocation sees stale data")
+		}
+	}
+}
+
+func TestArenaCoalescesAfterOverflow(t *testing.T) {
+	var a Arena
+	// Force several slabs: allocations larger than the minimum slab.
+	for i := 0; i < 3; i++ {
+		a.Alloc(arenaMinSlab + 1)
+	}
+	if len(a.slabs) != 3 {
+		t.Fatalf("want 3 slabs before Reset, have %d", len(a.slabs))
+	}
+	total := a.Cap()
+	a.Reset()
+	if len(a.slabs) != 1 || a.Cap() != total {
+		t.Fatalf("Reset should coalesce to one slab of capacity %d, have %d slabs cap %d",
+			total, len(a.slabs), a.Cap())
+	}
+	// The coalesced slab now serves the same workload allocation-free.
+	for i := 0; i < 3; i++ {
+		a.Alloc(arenaMinSlab + 1)
+	}
+	if len(a.slabs) != 1 {
+		t.Fatalf("coalesced slab should absorb the workload, have %d slabs", len(a.slabs))
+	}
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# bench.sh — run the root benchmark suite and archive the results as
+# machine-readable JSON (via cmd/benchjson), so the perf trajectory is
+# tracked PR over PR.
+#
+#   ./scripts/bench.sh                         # default pattern → BENCH_pr3.json
+#   ./scripts/bench.sh 'EndToEndClassify' out.json
+#   BENCHTIME=5x ./scripts/bench.sh            # more iterations
+set -eu
+cd "$(dirname "$0")/.."
+
+pattern="${1:-EndToEndClassify|EngineBatchedQuery|EngineBatch32RawQuery|ServeCoalesced|ItemMemoryPerProbeScan|EngineFloatBackend}"
+out="${2:-BENCH_pr3.json}"
+
+# Capture the bench run in a temp file first so a mid-run failure fails
+# the script (a plain pipe would discard go test's exit status).
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test . -run '^$' -bench "$pattern" -benchtime "${BENCHTIME:-1x}" -timeout 30m >"$raw"
+go run ./cmd/benchjson <"$raw" >"$out"
+echo "wrote $out"
