@@ -332,6 +332,29 @@ func BenchmarkEndToEndClassify(b *testing.B) {
 	})
 }
 
+// BenchmarkGEMM sweeps the packed register-blocked GEMM (internal/tensor
+// pack.go) over square and pipeline-shaped products: the conv-shaped
+// sizes are the batched im2col products of the micro ResNet embedding
+// path (M=outC, K=inC·kH·kW, N=batch·oh·ow) and the projection matmul.
+// The MB/s column reports FLOP/s (2·m·k·n "bytes" per op). Archived in
+// BENCH_pr4.json by scripts/bench.sh to track the kernel PR over PR.
+func BenchmarkGEMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	for _, sh := range tensor.GemmBenchShapes {
+		b.Run(sh.Name, func(b *testing.B) {
+			x := tensor.Randn(rng, 1, sh.M, sh.K)
+			y := tensor.Randn(rng, 1, sh.K, sh.N)
+			dst := tensor.New(sh.M, sh.N)
+			var buf tensor.GemmBuf
+			b.SetBytes(int64(2 * sh.M * sh.K * sh.N))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.GemmInto(dst, x, y, tensor.GemmOpts{Buf: &buf})
+			}
+		})
+	}
+}
+
 // BenchmarkIMCRobustness measures the analog-crossbar similarity readout
 // of the §V deployment outlook: accuracy of nearest-class retrieval under
 // typical PCM non-idealities vs ideal arithmetic (logged once).

@@ -1,7 +1,7 @@
 // Command benchjson converts `go test -bench` output on stdin into
 // machine-readable JSON on stdout, so benchmark runs can be archived
 // and diffed across PRs (scripts/bench.sh wires it up; BENCH_pr3.json
-// is the first archived snapshot).
+// was the first archived snapshot).
 //
 //	go test . -run '^$' -bench . | go run ./cmd/benchjson > bench.json
 //
@@ -10,14 +10,27 @@
 // ns/op, and any extra value/unit pairs (B/op, allocs/op, custom
 // b.ReportMetric units). Non-benchmark lines are ignored except the
 // goos/goarch/pkg/cpu header, which is captured as run metadata.
+//
+// Regression-gate mode: with -baseline, the run on stdin (bench text,
+// or an archived JSON report with -json) is compared per benchmark
+// against the baseline report, a delta table is printed to stdout (the
+// verdict line goes to stderr), and the exit status is non-zero when
+// any shared benchmark slowed by more than -max-regress percent — the
+// CI perf gate.
+//
+//	./scripts/bench.sh '' new.json
+//	go run ./cmd/benchjson -baseline BENCH_pr3.json -json < new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,9 +61,10 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.
 // metricPair matches one trailing "<value> <unit>" measurement.
 var metricPair = regexp.MustCompile(`([0-9.e+-]+) (\S+)`)
 
-func main() {
+// parseBenchText converts `go test -bench` text into a Report.
+func parseBenchText(r io.Reader) (Report, error) {
 	var rep Report
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -91,17 +105,102 @@ func main() {
 		rep.Results = append(rep.Results, r)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return rep, err
 	}
 	if len(rep.Results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
-		os.Exit(1)
+		return rep, fmt.Errorf("no benchmark lines found on stdin")
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	return rep, nil
+}
+
+// loadReport reads an archived JSON report from path.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	f, err := os.Open(path)
+	if err != nil {
+		return rep, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compare prints a per-benchmark delta table (negative = faster than the
+// baseline) and returns the names of shared benchmarks that slowed by
+// more than maxRegress percent.
+func compare(w io.Writer, base, cur Report, maxRegress float64) (regressed []string) {
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	fmt.Fprintf(w, "%-55s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-55s %14s %14.0f %9s\n", r.Name, "-", r.NsPerOp, "new")
+			continue
+		}
+		delete(baseBy, r.Name)
+		if b.NsPerOp == 0 {
+			continue
+		}
+		delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		fmt.Fprintf(w, "%-55s %14.0f %14.0f %+8.1f%%\n", r.Name, b.NsPerOp, r.NsPerOp, delta)
+		if delta > maxRegress {
+			regressed = append(regressed, r.Name)
+		}
+	}
+	var gone []string
+	for name := range baseBy {
+		gone = append(gone, name)
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "%-55s %14.0f %14s %9s\n", name, baseBy[name].NsPerOp, "-", "dropped")
+	}
+	return regressed
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "archived JSON report to diff the run on stdin against; exits non-zero on regression")
+	jsonIn := flag.Bool("json", false, "stdin is an archived benchjson report, not go test -bench text")
+	maxRegress := flag.Float64("max-regress", 25, "with -baseline: fail when any shared benchmark slows by more than this percent")
+	flag.Parse()
+
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	var cur Report
+	var err error
+	if *jsonIn {
+		if err = json.NewDecoder(os.Stdin).Decode(&cur); err != nil {
+			fail(fmt.Errorf("decoding JSON report from stdin: %w", err))
+		}
+	} else if cur, err = parseBenchText(os.Stdin); err != nil {
+		fail(err)
+	}
+
+	if *baseline == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cur); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	base, err := loadReport(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	regressed := compare(os.Stdout, base, cur, *maxRegress)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% vs %s: %s\n",
+			len(regressed), *maxRegress, *baseline, strings.Join(regressed, ", "))
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: no benchmark regressed more than %.0f%% vs %s\n", *maxRegress, *baseline)
 }

@@ -136,10 +136,15 @@ func engineAccuracy(m *Model, d *dataset.SynthCUB, eng *infer.Engine,
 				defer wg.Done()
 				sc := nn.GetScratch()
 				defer nn.PutScratch(sc)
+				// Per-worker result buffer: count consumes results before the
+				// next query reuses it, so result/TopK storage is reused
+				// across the loop (the per-batch Batch wrapper and its lazy
+				// norms still allocate once per query).
+				var rb infer.ResultBuf
 				for bi := range jobs {
 					sc.Reset()
 					emb, labels := embed(sc, bi)
-					count(eng.Query(infer.DenseBatch(emb), k), labels)
+					count(eng.QueryInto(infer.DenseBatch(emb), k, &rb), labels)
 				}
 			}()
 		}

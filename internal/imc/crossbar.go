@@ -124,24 +124,36 @@ func (c *Crossbar) MatVec(x *tensor.Tensor) *tensor.Tensor {
 // read noise and quantization per row — the batched similarity-kernel
 // call pattern.
 func (c *Crossbar) MatMulT(x *tensor.Tensor) *tensor.Tensor {
+	return c.MatMulTInto(tensor.New(x.Dim(0), c.Rows()), x)
+}
+
+// MatMulTInto is MatMulT writing into the caller's dst [n, rows] without
+// allocating — the steady-state path of the inference engine's crossbar
+// backend. The noise stream consumption is identical to MatMulT (one
+// corrupt pass per probe row, in row order).
+func (c *Crossbar) MatMulTInto(dst, x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != c.Cols() {
 		panic(fmt.Sprintf("imc.MatMulT: input %v incompatible with crossbar %dx%d",
 			x.Shape(), c.Rows(), c.Cols()))
 	}
-	out := tensor.MatMulT(x, c.programmed)
-	for r := 0; r < out.Dim(0); r++ {
-		row := tensor.FromSlice(out.Row(r), out.Dim(1))
-		c.corrupt(row, tensor.FromSlice(x.Row(r), x.Dim(1)))
+	tensor.MatMulTInto(dst, x, c.programmed)
+	for r := 0; r < dst.Dim(0); r++ {
+		c.corruptRow(dst.Row(r), x.Row(r))
 	}
-	return out
+	return dst
 }
 
 // corrupt applies read noise and ADC quantization in place. The noise
 // and clipping ranges are referenced to the worst-case ideal output
 // magnitude scale·‖x‖₁, the physically meaningful full-scale range.
 func (c *Crossbar) corrupt(out *tensor.Tensor, x *tensor.Tensor) {
+	c.corruptRow(out.Data, x.Data)
+}
+
+// corruptRow is corrupt on raw slices (one output line set, one probe).
+func (c *Crossbar) corruptRow(out, x []float32) {
 	var l1 float64
-	for _, v := range x.Data {
+	for _, v := range x {
 		l1 += math.Abs(float64(v))
 	}
 	full := float64(c.scale) * l1
@@ -150,17 +162,17 @@ func (c *Crossbar) corrupt(out *tensor.Tensor, x *tensor.Tensor) {
 	}
 	if c.cfg.ReadNoise > 0 {
 		c.mu.Lock()
-		for i := range out.Data {
-			out.Data[i] += float32(c.readRng.NormFloat64() * c.cfg.ReadNoise * full)
+		for i := range out {
+			out[i] += float32(c.readRng.NormFloat64() * c.cfg.ReadNoise * full)
 		}
 		c.mu.Unlock()
 	}
 	if c.cfg.ADCBits > 0 {
 		levels := float64(int(1) << uint(c.cfg.ADCBits))
 		step := 2 * full / levels
-		for i := range out.Data {
-			v := math.Max(-full, math.Min(full, float64(out.Data[i])))
-			out.Data[i] = float32(math.Round(v/step) * step)
+		for i := range out {
+			v := math.Max(-full, math.Min(full, float64(out[i])))
+			out[i] = float32(math.Round(v/step) * step)
 		}
 	}
 }
@@ -214,17 +226,34 @@ func (s *SimilarityKernel) Rows() int { return s.bar.Rows() }
 
 // Logits returns the [n, C] similarity logits for embeddings x [n, d].
 func (s *SimilarityKernel) Logits(x *tensor.Tensor) *tensor.Tensor {
-	dots := s.bar.MatMulT(x)
-	xNorms := tensor.RowNorms(x)
-	out := tensor.New(dots.Dim(0), dots.Dim(1))
-	for r := 0; r < out.Dim(0); r++ {
-		xn := xNorms.Data[r]
-		for cIdx := 0; cIdx < out.Dim(1); cIdx++ {
+	return s.LogitsInto(tensor.New(x.Dim(0), s.Rows()), x)
+}
+
+// LogitsInto computes the similarity logits into the caller's dst
+// [n, C] without allocating; dst is fully overwritten (zero where the
+// cosine denominator degenerates). Noise consumption and arithmetic are
+// identical to Logits.
+func (s *SimilarityKernel) LogitsInto(dst, x *tensor.Tensor) *tensor.Tensor {
+	s.bar.MatMulTInto(dst, x)
+	d := x.Dim(1)
+	for r := 0; r < dst.Dim(0); r++ {
+		// Row norm computed exactly like tensor.RowNorms (float64
+		// accumulation), so logits match the allocating path bit for bit.
+		var sq float64
+		row := x.Data[r*d : (r+1)*d]
+		for _, v := range row {
+			sq += float64(v) * float64(v)
+		}
+		xn := float32(math.Sqrt(sq))
+		drow := dst.Row(r)
+		for cIdx := range drow {
 			den := xn * s.rowNorms.Data[cIdx] * s.K
 			if den != 0 {
-				out.Set(dots.At(r, cIdx)/den, r, cIdx)
+				drow[cIdx] /= den
+			} else {
+				drow[cIdx] = 0
 			}
 		}
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,91 @@
+package infer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hdc"
+	"repro/internal/imc"
+	"repro/internal/tensor"
+)
+
+// TestEngineQueryZeroAlloc pins the steady-state allocation contract of
+// the buffered query path on all three backends: after one warm-up call
+// (which sizes the pooled shard scratch and the caller's ResultBuf),
+// QueryInto allocates nothing. Engines run single-shard — the per-query
+// goroutine fan-out of a multi-shard engine inherently allocates its
+// spawn bookkeeping, and one shard is the serving posture on small hosts.
+func TestEngineQueryZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc guard runs in non-race CI")
+	}
+	rng := rand.New(rand.NewSource(3))
+	const classes, probes, d = 40, 16, 512
+
+	phi := tensor.Rademacher(rng, classes, d)
+	mem := hdc.NewItemMemory(d)
+	for c := 0; c < classes; c++ {
+		mem.Store(fmt.Sprintf("c%d", c), hdc.NewRandomBinary(rng, d))
+	}
+
+	dense := DenseBatch(tensor.Randn(rng, 1, probes, d))
+	dense.DenseNorms() // cosine denominators, computed once per batch
+	packed := PackedBatch(func() []*hdc.Binary {
+		vs := make([]*hdc.Binary, probes)
+		for i := range vs {
+			vs[i] = hdc.NewRandomBinary(rng, d)
+		}
+		return vs
+	}())
+
+	cases := []struct {
+		name  string
+		eng   *Engine
+		batch *Batch
+	}{
+		{"float", New(NewFloatBackend(phi, nil, 0.05), WithWorkers(1)), dense},
+		{"binary", New(NewBinaryBackend(mem), WithWorkers(1)), packed},
+		{"imc", New(NewCrossbarBackend(phi, nil, 0.05, imc.TypicalPCM()), WithWorkers(1)), dense},
+	}
+	for _, tc := range cases {
+		for _, k := range []int{1, 5} {
+			t.Run(fmt.Sprintf("%s/k=%d", tc.name, k), func(t *testing.T) {
+				var buf ResultBuf
+				tc.eng.QueryInto(tc.batch, k, &buf) // warm pools and buffer
+				avg := testing.AllocsPerRun(50, func() {
+					tc.eng.QueryInto(tc.batch, k, &buf)
+				})
+				if avg != 0 {
+					t.Fatalf("QueryInto allocates %.1f objects per call in steady state, want 0", avg)
+				}
+			})
+		}
+	}
+}
+
+// TestQueryIntoMatchesQuery pins that the buffered path returns the
+// exact results of the allocating path.
+func TestQueryIntoMatchesQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	phi := tensor.Rademacher(rng, 23, 64)
+	eng := New(NewFloatBackend(phi, nil, 0.1), WithWorkers(2))
+	batch := DenseBatch(tensor.Randn(rng, 1, 9, 64))
+
+	want := eng.Query(batch, 4)
+	var buf ResultBuf
+	for round := 0; round < 3; round++ { // buffer reuse must not corrupt
+		got := eng.QueryInto(batch, 4, &buf)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d results, want %d", round, len(got), len(want))
+		}
+		for p := range want {
+			for i := range want[p].TopK {
+				if got[p].TopK[i] != want[p].TopK[i] {
+					t.Fatalf("round %d: probe %d hit %d = %+v, want %+v",
+						round, p, i, got[p].TopK[i], want[p].TopK[i])
+				}
+			}
+		}
+	}
+}

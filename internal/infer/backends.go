@@ -131,14 +131,8 @@ func (b *BinaryBackend) ScoreShard(batch *Batch, lo, hi int, out [][]float64) {
 		panic("infer.BinaryBackend: batch has no packed or dense probes")
 	}
 	width := hi - lo
-	var dists []int
-	if v := b.pool.Get(); v != nil {
-		dists = *v.(*[]int)
-	}
-	if cap(dists) < width {
-		dists = make([]int, width)
-	}
-	dists = dists[:width]
+	dp := b.distBuf(width)
+	dists := (*dp)[:width]
 	invD := 1 / float64(b.mem.Dim())
 	for p, probe := range probes {
 		b.mem.DistancesInto(probe, lo, hi, dists)
@@ -147,7 +141,23 @@ func (b *BinaryBackend) ScoreShard(batch *Batch, lo, hi int, out [][]float64) {
 			op[j] = 1 - 2*float64(h)*invD
 		}
 	}
-	b.pool.Put(&dists)
+	b.pool.Put(dp)
+}
+
+// distBuf pops a pooled distance buffer of at least width ints. The
+// pool holds *[]int boxes so checking one out and back allocates
+// nothing in steady state.
+func (b *BinaryBackend) distBuf(width int) *[]int {
+	var dp *[]int
+	if v := b.pool.Get(); v != nil {
+		dp = v.(*[]int)
+	} else {
+		dp = new([]int)
+	}
+	if cap(*dp) < width {
+		*dp = make([]int, width)
+	}
+	return dp
 }
 
 // SelectShard is the fused ShardSelector fast path: score and select in
@@ -172,19 +182,13 @@ func (b *BinaryBackend) SelectShard(batch *Batch, lo, hi, k int, cands []Hit) in
 		}
 		return 1
 	}
-	var dists []int
-	if v := b.pool.Get(); v != nil {
-		dists = *v.(*[]int)
-	}
-	if cap(dists) < width {
-		dists = make([]int, width)
-	}
-	dists = dists[:width]
+	dp := b.distBuf(width)
+	dists := (*dp)[:width]
 	for p, probe := range probes {
 		b.mem.DistancesInto(probe, lo, hi, dists)
 		selectTopKDist(dists, lo, invD, cands[p*k:p*k+kk])
 	}
-	b.pool.Put(&dists)
+	b.pool.Put(dp)
 	return kk
 }
 
@@ -231,6 +235,12 @@ type CrossbarBackend struct {
 
 	mu    sync.Mutex
 	tiles map[[2]int]*imc.SimilarityKernel
+	// logitsPools holds per-shape pools of logits tensors, keyed by
+	// [probes, shard width]: shard widths differ when the class count is
+	// not divisible by the worker count, and batch sizes vary under a
+	// coalescer, so a single pool would thrash between shapes. With one
+	// pool per shape the steady state of ScoreShard allocates nothing.
+	logitsPools map[[2]int]*sync.Pool
 }
 
 // NewCrossbarBackend wraps frozen class embeddings phi [C, d] with
@@ -280,17 +290,40 @@ func (b *CrossbarBackend) tile(lo, hi int) *imc.SimilarityKernel {
 	return t
 }
 
-// ScoreShard runs the shard's tile on the dense probes.
+// logitsPool returns the pool serving [n, width] logits tensors,
+// creating it on first use of that shape.
+func (b *CrossbarBackend) logitsPool(n, width int) *sync.Pool {
+	key := [2]int{n, width}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.logitsPools[key]
+	if !ok {
+		if b.logitsPools == nil {
+			b.logitsPools = make(map[[2]int]*sync.Pool)
+		}
+		p = &sync.Pool{New: func() any { return tensor.New(n, width) }}
+		b.logitsPools[key] = p
+	}
+	return p
+}
+
+// ScoreShard runs the shard's tile on the dense probes. The logits
+// tensor comes from a per-shape pool, so the steady state allocates
+// nothing.
 func (b *CrossbarBackend) ScoreShard(batch *Batch, lo, hi int, out [][]float64) {
 	if batch.Dense == nil {
 		panic("infer.CrossbarBackend: batch has no dense probes")
 	}
-	logits := b.tile(lo, hi).Logits(batch.Dense)
-	for p := 0; p < logits.Dim(0); p++ {
+	n, width := batch.Dense.Dim(0), hi-lo
+	pool := b.logitsPool(n, width)
+	logits := pool.Get().(*tensor.Tensor)
+	b.tile(lo, hi).LogitsInto(logits, batch.Dense)
+	for p := 0; p < n; p++ {
 		row := logits.Row(p)
 		op := out[p]
 		for j, v := range row {
 			op[j] = float64(v)
 		}
 	}
+	pool.Put(logits)
 }

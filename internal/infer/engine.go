@@ -121,6 +121,31 @@ type ShardSelector interface {
 	SelectShard(batch *Batch, lo, hi, k int, cands []Hit) int
 }
 
+// ResultBuf is caller-owned result storage for allocation-free querying:
+// QueryInto writes its results (and their TopK backing) into the buffer,
+// growing it only when a larger batch/k arrives, so the steady state of
+// a serving loop allocates nothing. Results returned through a buffer
+// are valid until the buffer's next use; callers that hand results to
+// other goroutines must use Query (fresh storage) instead. A ResultBuf
+// is not safe for concurrent use — one per querying goroutine.
+type ResultBuf struct {
+	results []Result
+	backing []Hit
+}
+
+// take returns n results with k-wide TopK slices backed by the buffer.
+func (rb *ResultBuf) take(n, k int) []Result {
+	if cap(rb.results) < n {
+		rb.results = make([]Result, n)
+	}
+	if cap(rb.backing) < n*k {
+		rb.backing = make([]Hit, n*k)
+	}
+	rb.results = rb.results[:n]
+	rb.backing = rb.backing[:n*k]
+	return rb.results
+}
+
 // Query scores every probe in batch against the full class memory and
 // returns, per probe, the top-k classes in descending score order (ties
 // by ascending class index). k is clamped to the class count. Query is
@@ -134,12 +159,29 @@ func (e *Engine) Query(batch *Batch, k int) []Result {
 	return res
 }
 
+// QueryInto is Query writing results into the caller's ResultBuf: the
+// allocation-free steady-state path for tight readout loops that consume
+// results before the buffer's next use.
+func (e *Engine) QueryInto(batch *Batch, k int, buf *ResultBuf) []Result {
+	res, err := e.TryQueryInto(batch, k, buf)
+	if err != nil {
+		panic("infer.Engine.QueryInto: " + err.Error())
+	}
+	return res
+}
+
 // TryQuery is Query with boundary validation reported as typed errors
 // instead of panics: a malformed batch (ErrBadQuery, ErrBatchMismatch),
 // a batch lacking the representation the backend consumes
 // (ErrMissingRepresentation), or a non-positive k (ErrBadQuery) fail
 // fast here, before any shard worker touches the probes.
 func (e *Engine) TryQuery(batch *Batch, k int) ([]Result, error) {
+	return e.TryQueryInto(batch, k, nil)
+}
+
+// TryQueryInto is TryQuery writing into buf when non-nil (see QueryInto);
+// with a nil buf every call returns freshly allocated results.
+func (e *Engine) TryQueryInto(batch *Batch, k int, buf *ResultBuf) ([]Result, error) {
 	if err := batch.Validate(); err != nil {
 		return nil, err
 	}
@@ -175,18 +217,29 @@ func (e *Engine) TryQuery(batch *Batch, k int) ([]Result, error) {
 		var wg sync.WaitGroup
 		for si := range e.ranges {
 			wg.Add(1)
-			go func(si int) {
+			// k passed as an argument, not captured: a captured k (it is
+			// reassigned by the clamp above) would be boxed on every call,
+			// breaking the zero-alloc steady state of the 1-shard path.
+			go func(si, k int) {
 				defer wg.Done()
 				qs.counts[si] = e.runShard(si, qs.shards[si], batch, k)
-			}(si)
+			}(si, k)
 		}
 		wg.Wait()
 	}
 
 	// Phase 2: merge per-shard candidates into global top-k per probe.
-	// One backing allocation serves every result's TopK slice.
-	results := make([]Result, n)
-	backing := make([]Hit, n*k)
+	// One backing allocation (or the caller's ResultBuf) serves every
+	// result's TopK slice.
+	var results []Result
+	var backing []Hit
+	if buf != nil {
+		results = buf.take(n, k)
+		backing = buf.backing
+	} else {
+		results = make([]Result, n)
+		backing = make([]Hit, n*k)
+	}
 	if cap(qs.merged) < e.workers*k {
 		qs.merged = make([]Hit, 0, e.workers*k)
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package infer
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; the zero-alloc guards skip, since instrumentation itself
+// allocates.
+const raceEnabled = false

@@ -35,7 +35,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Infer zeroes negative activations without touching layer state.
 func (r *ReLU) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
-	out := s.Alloc(x.Shape()...)
+	out := s.AllocLike(x)
 	reluInto(out, x)
 	return out
 }
@@ -148,10 +148,10 @@ func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
 }
 
 // Infer flattens all but the batch dimension without touching layer
-// state; the result is a reshaped view sharing x's data.
+// state; the result is an arena-backed reshaped view sharing x's data.
 func (f *Flatten) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 	n := x.Dim(0)
-	return x.Reshape(n, x.Len()/n)
+	return s.View(x, n, x.Len()/n)
 }
 
 // Params returns nil; Flatten has no parameters.

@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestResNetInferZeroAlloc pins the steady-state allocation contract of
+// the stateless inference path: with a warm Scratch (arena slabs
+// coalesced, GEMM panels and packed weight caches built), a full ResNet
+// forward allocates nothing — tensors, headers, shapes, im2col and GEMM
+// workspace all come from scratch-owned storage.
+func TestResNetInferZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc guard runs in non-race CI")
+	}
+	rng := rand.New(rand.NewSource(17))
+	for _, cfg := range []ResNetConfig{
+		MicroResNet50Config(4),
+		MicroResNet50Config(4).WithFlatten(16, 16),
+	} {
+		net := NewResNet(rng, cfg)
+		x := tensor.Randn(rng, 1, 2, 3, 16, 16)
+		sc := NewScratch()
+		for i := 0; i < 2; i++ { // size the arena, coalesce slabs
+			sc.Reset()
+			net.Infer(x, sc)
+		}
+		avg := testing.AllocsPerRun(20, func() {
+			sc.Reset()
+			net.Infer(x, sc)
+		})
+		if avg != 0 {
+			t.Fatalf("%s (flatten=%v): Infer allocates %.1f objects per call in steady state, want 0",
+				cfg.Name, cfg.FlattenPool, avg)
+		}
+	}
+}
+
+// TestLinearInferZeroAlloc pins the same contract for a lone projection
+// layer — the path every serving embed call ends with.
+func TestLinearInferZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc guard runs in non-race CI")
+	}
+	rng := rand.New(rand.NewSource(18))
+	l := NewLinear(rng, "fc", 256, 128, true)
+	x := tensor.Randn(rng, 1, 32, 256)
+	sc := NewScratch()
+	sc.Reset()
+	l.Infer(x, sc)
+	avg := testing.AllocsPerRun(50, func() {
+		sc.Reset()
+		l.Infer(x, sc)
+	})
+	if avg != 0 {
+		t.Fatalf("Linear.Infer allocates %.1f objects per call in steady state, want 0", avg)
+	}
+}
+
+// TestLinearPackedWeightInvalidation pins the cache-coherence contract
+// of the pre-packed weight panel: optimizer steps and checkpoint loads
+// bump the weight version, so Infer repacks instead of serving stale
+// weights.
+func TestLinearPackedWeightInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	l := NewLinear(rng, "fc", 12, 7, true)
+	x := tensor.Randn(rng, 1, 3, 12)
+
+	before := InferDetached(l, x)
+
+	// Mutate the weights the supported way: an optimizer step.
+	for i := range l.W.Grad.Data {
+		l.W.Grad.Data[i] = 0.5
+	}
+	NewSGD(0.1, 0, 0).Step(l.Params())
+
+	after := InferDetached(l, x)
+	want := l.Forward(x, false)
+	requireBitwiseEqual(t, "post-step Infer vs Forward", after, want)
+
+	same := true
+	for i := range before.Data {
+		if math.Float32bits(before.Data[i]) != math.Float32bits(after.Data[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Infer output unchanged after weight mutation: stale packed panel served")
+	}
+
+	// Direct Value writes must be announced via BumpVersion.
+	l.W.Value.Data[0] += 1
+	l.W.BumpVersion()
+	requireBitwiseEqual(t, "post-bump Infer vs Forward", InferDetached(l, x), l.Forward(x, false))
+}

@@ -58,21 +58,25 @@ func (c *Conv2D) OutSize(h, w int) (int, int) {
 // pixel j.
 func (c *Conv2D) im2col(x *tensor.Tensor, n, h, w, oh, ow int) *tensor.Tensor {
 	col := tensor.New(c.inC*c.kH*c.kW, oh*ow)
-	c.im2colInto(col.Data, x, n, h, w, oh, ow)
+	c.im2colInto(col.Data, oh*ow, 0, x, n, h, w, oh, ow)
 	return col
 }
 
 // im2colInto is im2col writing into a caller-owned buffer, which must be
-// zero-filled (padded positions are skipped, not written). It reads only
+// zero-filled (padded positions are skipped, not written). rowStride and
+// colOff place the sample's columns inside a wider matrix: row r of the
+// patch matrix lands at dst[r*rowStride+colOff:], which is how the
+// batched inference path builds one [k, N·oh·ow] matrix from N samples
+// (per-sample matrices use rowStride=oh·ow, colOff=0). It reads only
 // layer geometry, never mutable state, so the stateless inference path
 // shares it.
-func (c *Conv2D) im2colInto(dst []float32, x *tensor.Tensor, n, h, w, oh, ow int) {
+func (c *Conv2D) im2colInto(dst []float32, rowStride, colOff int, x *tensor.Tensor, n, h, w, oh, ow int) {
 	xoff := n * c.inC * h * w
 	for ic := 0; ic < c.inC; ic++ {
 		chanOff := xoff + ic*h*w
 		for ky := 0; ky < c.kH; ky++ {
 			for kx := 0; kx < c.kW; kx++ {
-				rowOff := ((ic*c.kH+ky)*c.kW + kx) * oh * ow
+				rowOff := ((ic*c.kH+ky)*c.kW+kx)*rowStride + colOff
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*c.stride + ky - c.pad
 					if iy < 0 || iy >= h {
@@ -151,22 +155,62 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
-// Infer computes the convolution without touching layer state: the
-// im2col workspace is one arena buffer reused across samples, and the
-// matmul lands directly in the output plane (no intermediate copy).
+// Infer computes the convolution without touching layer state, via two
+// fast paths over the packed GEMM:
+//
+//   - 1×1 stride-1 unpadded convolutions skip im2col entirely — each
+//     sample's raw input planes [inC, H·W] ARE the patch matrix, so the
+//     GEMM runs straight off the input with the channel bias fused into
+//     its epilogue and writes directly into the output planes.
+//   - Everything else builds ONE batched [inC·kH·kW, N·oh·ow] im2col
+//     matrix (single zero-fill, N strided scatter passes) and runs ONE
+//     GEMM over the whole batch, amortizing the weight-panel packing
+//     across every sample, then scatters the [outC, N·oh·ow] product
+//     into NCHW order.
+//
+// Both paths are bitwise identical to Forward(x, false): per output
+// element the kernel accumulates the same products in the same k order
+// regardless of how samples are batched, and the fused bias adds after
+// the complete accumulation exactly like addBias.
 func (c *Conv2D) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 	n, h, w, oh, ow := c.checkIn(x)
 	out := s.Alloc(n, c.outC, oh, ow)
-	col := s.Alloc(c.inC*c.kH*c.kW, oh*ow)
-	for i := 0; i < n; i++ {
-		if i > 0 {
-			col.Zero() // im2colInto skips padded positions; clear stale patches
+	o := s.GemmOpts()
+	if c.B != nil {
+		o.RowBias = c.B.Value.Data
+	}
+	if c.kH == 1 && c.kW == 1 && c.stride == 1 && c.pad == 0 {
+		// 1×1 fast path: per-sample GEMM on the raw input planes.
+		plane := c.outC * oh * ow
+		inPlane := c.inC * h * w
+		for i := 0; i < n; i++ {
+			tensor.GemmSlices(out.Data[i*plane:(i+1)*plane],
+				c.W.Value.Data, x.Data[i*inPlane:(i+1)*inPlane],
+				c.outC, c.inC, h*w, o)
 		}
-		c.im2colInto(col.Data, x, i, h, w, oh, ow)
-		plane := out.Data[i*c.outC*oh*ow : (i+1)*c.outC*oh*ow]
-		dst := tensor.FromSlice(plane, c.outC, oh*ow)
-		tensor.PMatMulInto(dst, c.W.Value, col, s.workers())
-		c.addBias(plane, oh, ow)
+		return out
+	}
+
+	// Batched im2col: one [k, N·oh·ow] matrix, one GEMM, one scatter.
+	k := c.inC * c.kH * c.kW
+	ohow := oh * ow
+	cols := s.Alloc(k, n*ohow)
+	for i := 0; i < n; i++ {
+		c.im2colInto(cols.Data, n*ohow, i*ohow, x, i, h, w, oh, ow)
+	}
+	if n == 1 {
+		// Single sample: the GEMM result [outC, oh·ow] IS the output plane
+		// layout — run it straight into out, no staging buffer, no scatter.
+		tensor.GemmSlices(out.Data, c.W.Value.Data, cols.Data, c.outC, k, ohow, o)
+		return out
+	}
+	y := s.Alloc(c.outC, n*ohow)
+	tensor.GemmInto(y, c.W.Value, cols, o)
+	for i := 0; i < n; i++ {
+		for oc := 0; oc < c.outC; oc++ {
+			copy(out.Data[(i*c.outC+oc)*ohow:(i*c.outC+oc+1)*ohow],
+				y.Data[oc*n*ohow+i*ohow:oc*n*ohow+(i+1)*ohow])
+		}
 	}
 	return out
 }

@@ -37,8 +37,12 @@ import (
 // typically via GetScratch/PutScratch.
 type Scratch struct {
 	arena tensor.Arena
-	// Workers is the row-block worker budget layer matmuls may fan out
-	// over (tensor.PMatMulInto). It defaults to 1 — callers that already
+	// gemm owns the GEMM packing panels (tensor.GemmBuf): grown once,
+	// reused by every layer matmul this scratch drives, zero steady-state
+	// allocations.
+	gemm tensor.GemmBuf
+	// Workers is the worker budget layer matmuls may fan out over
+	// (tensor.GemmOpts.Workers). It defaults to 1 — callers that already
 	// parallelize across batches (the evaluation pipeline, the serving
 	// layer under load) keep per-call compute serial; latency-sensitive
 	// single-stream callers can raise it. Results are bitwise identical
@@ -51,6 +55,20 @@ func NewScratch() *Scratch { return &Scratch{Workers: 1} }
 
 // Alloc returns a zero-filled arena tensor valid until Reset.
 func (s *Scratch) Alloc(shape ...int) *tensor.Tensor { return s.arena.Alloc(shape...) }
+
+// AllocLike returns a zero-filled arena tensor shaped like ref.
+func (s *Scratch) AllocLike(ref *tensor.Tensor) *tensor.Tensor { return s.arena.AllocLike(ref) }
+
+// View returns an arena-backed reshape view over src's data.
+func (s *Scratch) View(src *tensor.Tensor, shape ...int) *tensor.Tensor {
+	return s.arena.View(src, shape...)
+}
+
+// GemmOpts returns the scratch-backed GEMM options layer matmuls use:
+// this scratch's packing workspace and worker budget.
+func (s *Scratch) GemmOpts() tensor.GemmOpts {
+	return tensor.GemmOpts{Workers: s.workers(), Buf: &s.gemm}
+}
 
 // Reset reclaims every arena allocation at once, invalidating tensors
 // returned by earlier Infer calls that used this scratch.

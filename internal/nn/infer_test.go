@@ -47,6 +47,7 @@ func inferParityCases() []inferCase {
 		{"Linear+bias", NewLinear(rng, "fc", 33, 17, true), tensor.Randn(rng, 1, 5, 33)},
 		{"Linear-nobias", NewLinear(rng, "fcnb", 12, 8, false), tensor.Randn(rng, 1, 3, 12)},
 		{"Conv2D-pad", NewConv2D(rng, "conv", 3, 5, 3, 1, 1, true), tensor.Randn(rng, 1, 2, 3, 9, 9)},
+		{"Conv2D-batch1", NewConv2D(rng, "convb1", 3, 5, 3, 1, 1, true), tensor.Randn(rng, 1, 1, 3, 9, 9)},
 		{"Conv2D-stride", NewConv2D(rng, "convs", 4, 6, 3, 2, 1, false), tensor.Randn(rng, 1, 2, 4, 8, 8)},
 		{"Conv2D-1x1", NewConv2D(rng, "conv1", 4, 8, 1, 1, 0, false), tensor.Randn(rng, 1, 2, 4, 6, 6)},
 		{"BatchNorm2D", bn, tensor.Randn(rng, 1, 3, 6, 5, 5)},

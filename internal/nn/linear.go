@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 )
@@ -14,6 +15,34 @@ type Linear struct {
 	W, B *Param
 	in   *tensor.Tensor // cached input for backward
 	out  int
+
+	// packed caches W in the GEMM column-panel layout keyed by W's
+	// version, so Infer never re-reads the weight matrix column-strided.
+	// It is the one permitted "write" in Infer: an atomically-published
+	// cache of a pure function of W, safe under concurrent shared-read
+	// inference and invalidated whenever W's version moves (optimizer
+	// steps, checkpoint loads — see Param.BumpVersion).
+	packed atomic.Pointer[packedWeight]
+}
+
+// packedWeight pairs a packed panel with the weight version it was
+// packed from.
+type packedWeight struct {
+	pb      *tensor.PackedB
+	version uint64
+}
+
+// packedW returns W in packed-panel form, rebuilding if W changed since
+// the last pack. Concurrent callers may race to rebuild; all results are
+// identical (packing is pure data movement) and one wins the publish.
+func (l *Linear) packedW() *tensor.PackedB {
+	v := l.W.Version()
+	if c := l.packed.Load(); c != nil && c.version == v {
+		return c.pb
+	}
+	pb := tensor.PackB(l.W.Value)
+	l.packed.Store(&packedWeight{pb: pb, version: v})
+	return pb
 }
 
 // NewLinear builds a linear layer with He initialization (suitable for the
@@ -54,21 +83,21 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return y
 }
 
-// Infer computes x·W (+ b) without touching layer state; see the
-// contract in infer.go.
+// Infer computes x·W (+ b) without touching mutable layer state: the
+// GEMM consumes the cached pre-packed weight panel (skipping the
+// column-strided re-pack of W every call) and folds the bias into the
+// epilogue. Bitwise identical to Forward(x, false) — packing is pure
+// data movement and the fused bias adds after each element's complete
+// accumulation, exactly like the separate bias pass.
 func (l *Linear) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 	l.checkIn(x)
 	y := s.Alloc(x.Dim(0), l.out)
-	tensor.PMatMulInto(y, x, l.W.Value, s.workers())
+	o := s.GemmOpts()
+	o.PB = l.packedW()
 	if l.B != nil {
-		rows := x.Dim(0)
-		for r := 0; r < rows; r++ {
-			yr := y.Row(r)
-			for c, bv := range l.B.Value.Data {
-				yr[c] += bv
-			}
-		}
+		o.ColBias = l.B.Value.Data
 	}
+	tensor.GemmInto(y, x, nil, o)
 	return y
 }
 

@@ -52,6 +52,7 @@ func (o *SGD) Step(params []*Param) {
 			v.Data[i] = o.Momentum*v.Data[i] - o.lr*g
 			p.Value.Data[i] += v.Data[i]
 		}
+		p.BumpVersion()
 	}
 }
 
@@ -106,6 +107,7 @@ func (o *AdamW) Step(params []*Param) {
 			vhat := v.Data[i] / bc2
 			p.Value.Data[i] -= o.lr * (mhat/(float32(math.Sqrt(float64(vhat)))+o.Eps) + decay*p.Value.Data[i])
 		}
+		p.BumpVersion()
 	}
 }
 

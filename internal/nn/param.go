@@ -32,7 +32,20 @@ type Param struct {
 	// Frozen parameters are skipped by optimizers; used in phase III where
 	// the backbone stays stationary while the projection FC trains.
 	Frozen bool
+	// version counts value mutations; layers that cache derived forms of
+	// the value (Linear's packed weight panel) compare it to invalidate.
+	version uint64
 }
+
+// Version returns the mutation counter of the parameter value. Layers
+// caching derived forms of Value (e.g. Linear's pre-packed weight panel)
+// rebuild when it changes.
+func (p *Param) Version() uint64 { return p.version }
+
+// BumpVersion records a mutation of Value. The optimizers and checkpoint
+// loader call it; any other code that writes Value (or replaces the
+// tensor wholesale) must too, or stale derived caches will be served.
+func (p *Param) BumpVersion() { p.version++ }
 
 // NewParam allocates a parameter wrapping value with a zero gradient.
 func NewParam(name string, value *tensor.Tensor) *Param {

@@ -36,24 +36,32 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
-// Infer pools without touching layer state.
+// Infer pools without touching layer state. The output dims are passed
+// as scalars so a warm scratch allocates nothing.
 func (m *MaxPool2D) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
-	out := s.Alloc(m.outShape(x)...)
+	n, c, oh, ow := m.outDims(x)
+	out := s.Alloc(n, c, oh, ow)
 	m.poolInto(out, x, nil)
 	return out
 }
 
-// outShape validates the input and returns the pooled output shape.
-func (m *MaxPool2D) outShape(x *tensor.Tensor) []int {
+// outDims validates the input and returns the pooled output dimensions.
+func (m *MaxPool2D) outDims(x *tensor.Tensor) (n, c, oh, ow int) {
 	checkRank("MaxPool2D", x, 4)
 	h, w := x.Dim(2), x.Dim(3)
-	oh := (h-m.Kernel)/m.Stride + 1
-	ow := (w-m.Kernel)/m.Stride + 1
+	oh = (h-m.Kernel)/m.Stride + 1
+	ow = (w-m.Kernel)/m.Stride + 1
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn.MaxPool2D: input %dx%d too small for kernel %d stride %d",
 			h, w, m.Kernel, m.Stride))
 	}
-	return []int{x.Dim(0), x.Dim(1), oh, ow}
+	return x.Dim(0), x.Dim(1), oh, ow
+}
+
+// outShape validates the input and returns the pooled output shape.
+func (m *MaxPool2D) outShape(x *tensor.Tensor) []int {
+	n, c, oh, ow := m.outDims(x)
+	return []int{n, c, oh, ow}
 }
 
 // poolInto writes the pooled maxima into out; when argmax is non-nil it

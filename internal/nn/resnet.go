@@ -168,7 +168,7 @@ func (b *residualBlock) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 	if b.shortcut != nil {
 		sc = b.shortcut.Infer(x, s)
 	}
-	out := s.Alloc(y.Shape()...)
+	out := s.AllocLike(y)
 	for i, v := range y.Data {
 		if v += sc.Data[i]; v > 0 {
 			out.Data[i] = v

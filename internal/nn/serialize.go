@@ -126,6 +126,7 @@ func LoadParams(r io.Reader, params []*Param) error {
 			}
 			p.Value.Data[j] = math.Float32frombits(bits)
 		}
+		p.BumpVersion() // invalidate derived caches (packed weight panels)
 	}
 	return nil
 }

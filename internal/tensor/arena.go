@@ -6,13 +6,21 @@ package tensor
 // activation-sized tensors on every call.
 //
 // Alloc carves zero-filled tensors out of large reusable slabs; Reset
-// reclaims everything at once. An Arena is NOT safe for concurrent use —
+// reclaims everything at once. Tensor headers and shape slices are also
+// served from arena-owned storage, so a warm arena hands out tensors
+// with ZERO heap allocations per call — the property the zero-alloc
+// guards on ResNet.Infer pin. An Arena is NOT safe for concurrent use —
 // the intended pattern is one arena per goroutine (checked out of a
 // sync.Pool), reset between independent inference calls.
 type Arena struct {
 	slabs [][]float32 // slabs[len-1] is the active slab
 	off   int         // bump offset into the active slab
 	total int         // total capacity across all slabs
+
+	hdrs   []*Tensor // reusable tensor headers, recycled on Reset
+	hdrOff int
+	dims   []int // shape storage, recycled on Reset
+	dimOff int
 }
 
 // arenaMinSlab is the minimum slab size in float32 elements (256 KiB).
@@ -39,24 +47,89 @@ func (a *Arena) alloc(n int) []float32 {
 	return out
 }
 
+// header returns a recycled (or, on first use, new) tensor header. The
+// header's previous contents are fully overwritten by the caller.
+func (a *Arena) header() *Tensor {
+	if a.hdrOff == len(a.hdrs) {
+		a.hdrs = append(a.hdrs, new(Tensor))
+	}
+	t := a.hdrs[a.hdrOff]
+	a.hdrOff++
+	return t
+}
+
+// shapeCopy stores shape in arena-owned int storage and returns the
+// stored copy. The block grows geometrically when a pass overflows it
+// (like the float slabs), so after one warm pass the steady state hands
+// out shapes allocation-free no matter how many tensors a pass needs.
+func (a *Arena) shapeCopy(shape []int) []int {
+	if a.dimOff+len(shape) > len(a.dims) {
+		size := 2 * len(a.dims)
+		if size < 256 {
+			size = 256
+		}
+		if a.dimOff+len(shape) > size {
+			size = a.dimOff + len(shape)
+		}
+		// Old handed-out shape slices keep the previous backing alive;
+		// they are invalid after the next Reset anyway. The used prefix is
+		// carried over so those slices' storage is not reused before Reset.
+		dims := make([]int, size)
+		copy(dims, a.dims[:a.dimOff])
+		a.dims = dims
+	}
+	dst := a.dims[a.dimOff : a.dimOff+len(shape) : a.dimOff+len(shape)]
+	a.dimOff += len(shape)
+	copy(dst, shape)
+	return dst
+}
+
 // Alloc returns a zero-filled tensor of the given shape backed by the
-// arena. The tensor is valid until the next Reset; callers that need it
-// to outlive the arena must Clone it first.
+// arena. The tensor (header included) is valid until the next Reset;
+// callers that need it to outlive the arena must Clone it first.
 func (a *Arena) Alloc(shape ...int) *Tensor {
 	n := checkShape("Arena.Alloc", shape)
-	return &Tensor{Data: a.alloc(n), shape: append([]int(nil), shape...)}
+	t := a.header()
+	t.Data = a.alloc(n)
+	t.shape = a.shapeCopy(shape)
+	return t
+}
+
+// AllocLike returns a zero-filled arena tensor with ref's shape, without
+// the shape-copy allocation t.Shape() would cost.
+func (a *Arena) AllocLike(ref *Tensor) *Tensor {
+	t := a.header()
+	t.Data = a.alloc(len(ref.Data))
+	t.shape = a.shapeCopy(ref.shape)
+	return t
+}
+
+// View returns an arena-backed tensor header over src's data with a new
+// shape (element count must match) — a Reshape whose header lives in the
+// arena. The data is shared with src, not copied.
+func (a *Arena) View(src *Tensor, shape ...int) *Tensor {
+	n := checkShape("Arena.View", shape)
+	if n != len(src.Data) {
+		panic("tensor.Arena.View: element count mismatch")
+	}
+	t := a.header()
+	t.Data = src.Data
+	t.shape = a.shapeCopy(shape)
+	return t
 }
 
 // Reset reclaims every allocation at once, invalidating all tensors
-// handed out since the previous Reset. If the arena overflowed into
-// multiple slabs, they are coalesced into one slab of the combined
-// capacity, so the steady state after the first full pass is a single
-// slab and zero per-call allocations.
+// (headers included) handed out since the previous Reset. If the arena
+// overflowed into multiple slabs, they are coalesced into one slab of
+// the combined capacity, so the steady state after the first full pass
+// is a single slab and zero per-call allocations.
 func (a *Arena) Reset() {
 	if len(a.slabs) > 1 {
 		a.slabs = [][]float32{make([]float32, a.total)}
 	}
 	a.off = 0
+	a.hdrOff = 0
+	a.dimOff = 0
 }
 
 // Cap returns the arena's total capacity in float32 elements.

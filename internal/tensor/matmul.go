@@ -2,13 +2,12 @@ package tensor
 
 import "fmt"
 
-// blockSize is the cache-blocking tile edge used by MatMul. 64 float32
-// rows/cols keeps three tiles comfortably inside L1/L2 on commodity CPUs.
+// blockSize is the cache-blocking tile edge used by the retained
+// reference kernel matmulRefInto.
 const blockSize = 64
 
-// MatMul computes the 2-D matrix product a[m,k] × b[k,n] → [m,n] using an
-// i-k-j loop order with cache blocking so the inner loop streams both the
-// b row and the output row.
+// MatMul computes the 2-D matrix product a[m,k] × b[k,n] → [m,n] via the
+// packed register-blocked GEMM (see pack.go).
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor.MatMul: want rank-2 operands, have %v and %v", a.shape, b.shape))
@@ -19,13 +18,15 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor.MatMul: inner dimensions differ: %v × %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	matmulInto(out.Data, a.Data, b.Data, m, k, n)
+	gemm(out.Data, a.Data, b.Data, m, k, n, GemmOpts{})
 	return out
 }
 
-// matmulInto computes dst += A×B where dst is pre-zeroed (or accumulates
-// into existing contents for callers that want fused accumulation).
-func matmulInto(dst, a, b []float32, m, k, n int) {
+// matmulRefInto is the pre-packing kernel — a blocked i-k-j loop with a
+// zero-skip branch — retained as the reference the packed GEMM's parity
+// tests compare against (the two accumulate in different orders, so the
+// comparison is tolerance-based). dst must be pre-zeroed; it accumulates.
+func matmulRefInto(dst, a, b []float32, m, k, n int) {
 	for i0 := 0; i0 < m; i0 += blockSize {
 		iMax := min(i0+blockSize, m)
 		for k0 := 0; k0 < k; k0 += blockSize {
@@ -50,13 +51,12 @@ func matmulInto(dst, a, b []float32, m, k, n int) {
 
 // MatMulInto computes a[m,k] × b[k,n] into dst[m,n] without allocating,
 // overwriting dst's contents. dst must not alias a or b. The result is
-// bitwise identical to MatMul (same kernel, same accumulation order);
-// this is the non-allocating variant hot paths use with arena- or
-// pool-backed destinations.
+// bitwise identical to MatMul (same packed kernel); this is the
+// non-allocating variant hot paths use with arena- or pool-backed
+// destinations.
 func MatMulInto(dst, a, b *Tensor) *Tensor {
 	m, k, n := checkMatMulShapes("MatMulInto", dst, a, b)
-	clear(dst.Data)
-	matmulInto(dst.Data, a.Data, b.Data, m, k, n)
+	gemm(dst.Data, a.Data, b.Data, m, k, n, GemmOpts{})
 	return dst
 }
 

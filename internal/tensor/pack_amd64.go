@@ -1,0 +1,59 @@
+//go:build amd64
+
+package tensor
+
+// AVX2+FMA micro-kernel plumbing. The assembly kernel (pack_amd64.s)
+// computes the full 6×16 tile with 12 YMM accumulators — two 8-lane FMAs
+// per A broadcast — which is the shape that saturates the two FMA ports
+// on every AVX2-class x86 core. Feature detection runs once at init; on
+// CPUs without AVX2/FMA (or kernels without YMM state enabled) the
+// portable Go kernel takes over. Kernel choice is fixed per process, so
+// the determinism contract (bitwise-identical results across worker
+// counts and call sites) holds on every machine; results may differ
+// across machines with different kernels, which is why cross-kernel
+// comparisons are tolerance-based.
+
+// gemmKernel6x16 computes one 6×16 tile from packed panels:
+// d[r*ldd+c] (=|+)= Σ_p ap[p*6+r]·bp[p*16+c]. Implemented in
+// pack_amd64.s; requires AVX2+FMA.
+//
+//go:noescape
+func gemmKernel6x16(d *float32, ldd int, ap, bp *float32, kc int, first bool)
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE).
+func xgetbv() (eax, edx uint32)
+
+// haveGemmAsm reports whether the assembly micro-kernel is usable on
+// this CPU: AVX2 + FMA present and the OS has enabled YMM state.
+var haveGemmAsm = func() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+	)
+	if c1&fma == 0 || c1&osxsave == 0 {
+		return false
+	}
+	if xa, _ := xgetbv(); xa&0x6 != 0x6 { // XMM and YMM state enabled
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}()
+
+// microKernel dispatches one micro-tile to the assembly kernel when the
+// CPU supports it, else to the portable Go kernel.
+func microKernel(d []float32, ldd int, ap, bp []float32, kc int, first bool) {
+	if haveGemmAsm {
+		gemmKernel6x16(&d[0], ldd, &ap[0], &bp[0], kc, first)
+		return
+	}
+	microKernelGeneric(d, ldd, ap, bp, kc, first)
+}

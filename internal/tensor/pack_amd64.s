@@ -1,0 +1,134 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func gemmKernel6x16(d *float32, ldd int, ap, bp *float32, kc int, first bool)
+//
+// One 6×16 GEMM micro-tile: 12 YMM accumulators (6 rows × two 8-lane
+// vectors), two B vector loads and six A broadcasts per k step, each
+// feeding two VFMADD231PS. first selects overwrite vs accumulate at the
+// store. ldd is in float32 elements.
+TEXT ·gemmKernel6x16(SB), NOSPLIT, $0-41
+	MOVQ d+0(FP), DI
+	MOVQ ldd+8(FP), SI
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kc+32(FP), CX
+
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+	VXORPS Y12, Y12, Y12
+	VXORPS Y13, Y13, Y13
+	VXORPS Y14, Y14, Y14
+	VXORPS Y15, Y15, Y15
+
+kloop:
+	VMOVUPS (BX), Y0             // b[0:8]
+	VMOVUPS 32(BX), Y1           // b[8:16]
+
+	VBROADCASTSS (AX), Y2        // a row 0
+	VFMADD231PS  Y0, Y2, Y4
+	VFMADD231PS  Y1, Y2, Y5
+	VBROADCASTSS 4(AX), Y3       // a row 1
+	VFMADD231PS  Y0, Y3, Y6
+	VFMADD231PS  Y1, Y3, Y7
+	VBROADCASTSS 8(AX), Y2       // a row 2
+	VFMADD231PS  Y0, Y2, Y8
+	VFMADD231PS  Y1, Y2, Y9
+	VBROADCASTSS 12(AX), Y3      // a row 3
+	VFMADD231PS  Y0, Y3, Y10
+	VFMADD231PS  Y1, Y3, Y11
+	VBROADCASTSS 16(AX), Y2      // a row 4
+	VFMADD231PS  Y0, Y2, Y12
+	VFMADD231PS  Y1, Y2, Y13
+	VBROADCASTSS 20(AX), Y3      // a row 5
+	VFMADD231PS  Y0, Y3, Y14
+	VFMADD231PS  Y1, Y3, Y15
+
+	ADDQ $24, AX                 // 6 floats
+	ADDQ $64, BX                 // 16 floats
+	DECQ CX
+	JNZ  kloop
+
+	SHLQ $2, SI                  // row stride in bytes
+	MOVBLZX first+40(FP), DX
+	TESTL DX, DX
+	JZ    accumulate
+
+	VMOVUPS Y4, (DI)
+	VMOVUPS Y5, 32(DI)
+	ADDQ    SI, DI
+	VMOVUPS Y6, (DI)
+	VMOVUPS Y7, 32(DI)
+	ADDQ    SI, DI
+	VMOVUPS Y8, (DI)
+	VMOVUPS Y9, 32(DI)
+	ADDQ    SI, DI
+	VMOVUPS Y10, (DI)
+	VMOVUPS Y11, 32(DI)
+	ADDQ    SI, DI
+	VMOVUPS Y12, (DI)
+	VMOVUPS Y13, 32(DI)
+	ADDQ    SI, DI
+	VMOVUPS Y14, (DI)
+	VMOVUPS Y15, 32(DI)
+	VZEROUPPER
+	RET
+
+accumulate:
+	VADDPS (DI), Y4, Y4
+	VMOVUPS Y4, (DI)
+	VADDPS 32(DI), Y5, Y5
+	VMOVUPS Y5, 32(DI)
+	ADDQ   SI, DI
+	VADDPS (DI), Y6, Y6
+	VMOVUPS Y6, (DI)
+	VADDPS 32(DI), Y7, Y7
+	VMOVUPS Y7, 32(DI)
+	ADDQ   SI, DI
+	VADDPS (DI), Y8, Y8
+	VMOVUPS Y8, (DI)
+	VADDPS 32(DI), Y9, Y9
+	VMOVUPS Y9, 32(DI)
+	ADDQ   SI, DI
+	VADDPS (DI), Y10, Y10
+	VMOVUPS Y10, (DI)
+	VADDPS 32(DI), Y11, Y11
+	VMOVUPS Y11, 32(DI)
+	ADDQ   SI, DI
+	VADDPS (DI), Y12, Y12
+	VMOVUPS Y12, (DI)
+	VADDPS 32(DI), Y13, Y13
+	VMOVUPS Y13, 32(DI)
+	ADDQ   SI, DI
+	VADDPS (DI), Y14, Y14
+	VMOVUPS Y14, (DI)
+	VADDPS 32(DI), Y15, Y15
+	VMOVUPS Y15, 32(DI)
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

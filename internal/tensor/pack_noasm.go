@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package tensor
+
+// haveGemmAsm is false off amd64; the portable kernel is used.
+const haveGemmAsm = false
+
+// microKernel runs the portable Go micro-kernel on non-amd64 targets.
+func microKernel(d []float32, ldd int, ap, bp []float32, kc int, first bool) {
+	microKernelGeneric(d, ldd, ap, bp, kc, first)
+}

@@ -2,11 +2,12 @@ package tensor
 
 import "sync"
 
-// Row-tiled parallel matmul drivers. Work is partitioned over contiguous
-// output-row blocks, one goroutine per block: every output row is
-// produced by exactly one worker running the serial kernel in the serial
-// loop order, so results are bitwise identical to the single-threaded
-// Into variants for ANY worker count. That invariant is what lets the
+// Parallel matmul drivers. Work is partitioned over contiguous blocks of
+// the output (column panels for the packed GEMM, rows for the transpose
+// kernel), one goroutine per block: every output element is produced by
+// exactly one worker with the kernel's fixed per-element accumulation
+// order, so results are bitwise identical to the single-threaded Into
+// variants for ANY worker count. That invariant is what lets the
 // shared-read inference path parallelize without perturbing seeded
 // evaluation numbers.
 
@@ -44,14 +45,12 @@ func ParallelRows(rows, workers int, fn func(lo, hi int)) {
 }
 
 // PMatMulInto computes a[m,k] × b[k,n] into dst[m,n] like MatMulInto,
-// fanning contiguous row blocks of the output across at most workers
-// goroutines. Bitwise identical to MatMulInto for any worker count.
+// fanning contiguous column-panel blocks of the output across at most
+// workers goroutines (the packed GEMM's parallel axis). Bitwise
+// identical to MatMulInto for any worker count.
 func PMatMulInto(dst, a, b *Tensor, workers int) *Tensor {
 	m, k, n := checkMatMulShapes("PMatMulInto", dst, a, b)
-	clear(dst.Data)
-	ParallelRows(m, workers, func(lo, hi int) {
-		matmulInto(dst.Data[lo*n:hi*n], a.Data[lo*k:hi*k], b.Data, hi-lo, k, n)
-	})
+	gemm(dst.Data, a.Data, b.Data, m, k, n, GemmOpts{Workers: workers})
 	return dst
 }
 

@@ -59,7 +59,10 @@ func FromSlice(data []float32, shape ...int) *Tensor {
 	return &Tensor{Data: data, shape: append([]int(nil), shape...)}
 }
 
-// checkShape validates a shape and returns the element count.
+// checkShape validates a shape and returns the element count. The panic
+// message formats a COPY of the shape: passing the slice itself to fmt
+// would make every caller's variadic shape argument escape to the heap,
+// breaking the zero-alloc contract of the arena-backed hot paths.
 func checkShape(op string, shape []int) int {
 	if len(shape) == 0 {
 		panic("tensor." + op + ": empty shape")
@@ -67,7 +70,8 @@ func checkShape(op string, shape []int) int {
 	n := 1
 	for _, s := range shape {
 		if s <= 0 {
-			panic(fmt.Sprintf("tensor.%s: non-positive dimension in shape %v", op, shape))
+			panic(fmt.Sprintf("tensor.%s: non-positive dimension in shape %v",
+				op, append([]int(nil), shape...)))
 		}
 		n *= s
 	}
