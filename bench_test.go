@@ -275,11 +275,13 @@ func BenchmarkServeCoalesced(b *testing.B) {
 // ResNet-embedding scale — 128 raw 16×16 images through a frozen micro
 // ResNet50 (d'=256 → d=1536 projection) into a float engine over 50
 // classes — comparing the legacy serial embedding (eval Forward, the
-// pre-PR-3 wall-clock floor) against the shared-read pipeline (worker
-// goroutines sharing ONE frozen encoder via the stateless Infer path).
-// Predictions are identical by construction (Infer is bitwise equal to
-// eval Forward); the margin is the tentpole speedup and scales with
-// cores (parallel ≈ serial on a single-core runner).
+// pre-PR-3 wall-clock floor) against the serving pipeline: worker
+// goroutines sharing ONE compiled frozen-graph plan (BN folded,
+// bias/ReLU/residual fused into the GEMM write-back, pre-scheduled
+// buffers — see nn.CompiledNet). Predictions match eval Forward within
+// the BN-folding tolerance and are bitwise identical across worker
+// counts; the margin is the PR-5 tentpole speedup and scales further
+// with cores.
 func BenchmarkEndToEndClassify(b *testing.B) {
 	const (
 		classes, d     = 50, 1536
@@ -306,6 +308,7 @@ func BenchmarkEndToEndClassify(b *testing.B) {
 	})
 	b.Run("parallel-embed", func(b *testing.B) {
 		workers := runtime.GOMAXPROCS(0)
+		compiled := enc.Compiled()
 		for i := 0; i < b.N; i++ {
 			jobs := make(chan int)
 			var wg sync.WaitGroup
@@ -318,7 +321,7 @@ func BenchmarkEndToEndClassify(b *testing.B) {
 					for at := range jobs {
 						end := min(at+embedBatchSize, samples)
 						sc.Reset()
-						emb := enc.Infer(sample(at, end), sc)
+						emb := compiled.Infer(sample(at, end), sc)
 						eng.Query(infer.DenseBatch(emb), 1)
 					}
 				}()
@@ -328,6 +331,32 @@ func BenchmarkEndToEndClassify(b *testing.B) {
 			}
 			close(jobs)
 			wg.Wait()
+		}
+	})
+}
+
+// BenchmarkCompiledInfer isolates the frozen-graph compiler's win on
+// the embedding hot path: the same batch-32 encoder call, layer-by-
+// layer stateless Infer vs the compiled plan (BN folded, epilogues
+// fused, zero-alloc buffer schedule). Archived in BENCH_pr5.json.
+func BenchmarkCompiledInfer(b *testing.B) {
+	const d, img = 1536, 16
+	rng := rand.New(rand.NewSource(13))
+	enc := core.NewImageEncoder(rng, nn.MicroResNet50Config(8), d)
+	x := tensor.Randn(rng, 1, 32, 3, img, img)
+	b.Run("layers", func(b *testing.B) {
+		sc := nn.NewScratch()
+		for i := 0; i < b.N; i++ {
+			sc.Reset()
+			enc.Infer(x, sc)
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		cn := enc.Compiled()
+		sc := nn.NewScratch()
+		for i := 0; i < b.N; i++ {
+			sc.Reset()
+			cn.Infer(x, sc)
 		}
 	})
 }

@@ -15,11 +15,15 @@
 // or an archived JSON report with -json) is compared per benchmark
 // against the baseline report, a delta table is printed to stdout (the
 // verdict line goes to stderr), and the exit status is non-zero when
-// any shared benchmark slowed by more than -max-regress percent — the
-// CI perf gate.
+// any SHARED benchmark slowed by more than -max-regress percent — the
+// CI perf gate. Benchmarks present only in the new run are reported as
+// "new" and benchmarks only in the baseline as "dropped"; both are
+// informational and never trip the gate, so growing the suite (e.g.
+// adding BenchmarkCompiledInfer in PR 5) cannot fail CI against an
+// older baseline.
 //
 //	./scripts/bench.sh '' new.json
-//	go run ./cmd/benchjson -baseline BENCH_pr3.json -json < new.json
+//	go run ./cmd/benchjson -baseline BENCH_pr4.json -json < new.json
 package main
 
 import (
@@ -127,10 +131,14 @@ func loadReport(path string) (Report, error) {
 	return rep, nil
 }
 
-// compare prints a per-benchmark delta table (negative = faster than the
-// baseline) and returns the names of shared benchmarks that slowed by
-// more than maxRegress percent.
-func compare(w io.Writer, base, cur Report, maxRegress float64) (regressed []string) {
+// compare prints a per-benchmark delta table (negative = faster than
+// the baseline) and returns the names of shared benchmarks that slowed
+// by more than maxRegress percent, plus the counts of benchmarks only
+// one side has. Benchmarks present only in the new run are INFORMATIONAL
+// ("new" rows) and can never trip the gate — adding a benchmark to the
+// suite must not fail CI against an older baseline; the gate compares
+// only the intersection.
+func compare(w io.Writer, base, cur Report, maxRegress float64) (regressed []string, added, dropped int) {
 	baseBy := make(map[string]Result, len(base.Results))
 	for _, r := range base.Results {
 		baseBy[r.Name] = r
@@ -139,6 +147,7 @@ func compare(w io.Writer, base, cur Report, maxRegress float64) (regressed []str
 	for _, r := range cur.Results {
 		b, ok := baseBy[r.Name]
 		if !ok {
+			added++
 			fmt.Fprintf(w, "%-55s %14s %14.0f %9s\n", r.Name, "-", r.NsPerOp, "new")
 			continue
 		}
@@ -160,7 +169,7 @@ func compare(w io.Writer, base, cur Report, maxRegress float64) (regressed []str
 	for _, name := range gone {
 		fmt.Fprintf(w, "%-55s %14.0f %14s %9s\n", name, baseBy[name].NsPerOp, "-", "dropped")
 	}
-	return regressed
+	return regressed, added, len(gone)
 }
 
 func main() {
@@ -196,11 +205,18 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	regressed := compare(os.Stdout, base, cur, *maxRegress)
+	regressed, added, dropped := compare(os.Stdout, base, cur, *maxRegress)
+	extra := ""
+	if added > 0 {
+		extra += fmt.Sprintf("; %d new benchmark(s) not in the baseline (informational)", added)
+	}
+	if dropped > 0 {
+		extra += fmt.Sprintf("; %d baseline benchmark(s) missing from this run", dropped)
+	}
 	if len(regressed) > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% vs %s: %s\n",
-			len(regressed), *maxRegress, *baseline, strings.Join(regressed, ", "))
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% vs %s: %s%s\n",
+			len(regressed), *maxRegress, *baseline, strings.Join(regressed, ", "), extra)
 		os.Exit(2)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: no benchmark regressed more than %.0f%% vs %s\n", *maxRegress, *baseline)
+	fmt.Fprintf(os.Stderr, "benchjson: no benchmark regressed more than %.0f%% vs %s%s\n", *maxRegress, *baseline, extra)
 }

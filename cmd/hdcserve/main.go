@@ -176,17 +176,26 @@ func buildRegistry(classes, dim int, seed int64, workers int, backendList string
 }
 
 // registerEmbedder freezes a seed-deterministic ResNet image encoder
-// (micro ResNet50 topology, FC projection to the class-memory d) and
-// registers it as the "resnet" embedder. The network is never trained
-// and nothing ever calls its mutating Forward, so the one instance is
-// shared read-only by every in-flight /v1/embed-classify request
-// through the stateless nn Infer path.
+// (micro ResNet50 topology, FC projection to the class-memory d),
+// compiles it into a frozen-graph inference plan (BatchNorms folded
+// into conv weights, bias/ReLU/residual adds fused into the GEMM
+// write-back, activation buffers pre-scheduled — see nn.CompiledNet)
+// and registers the plan as the "resnet" embedder. The network is
+// never trained and nothing ever calls its mutating Forward, so the
+// one compiled plan is shared read-only by every in-flight
+// /v1/embed-classify request.
 func registerEmbedder(reg *serve.Registry, dim int, seed int64, img, width int) error {
 	if img < 8 || width < 1 {
 		return fmt.Errorf("bad embedder geometry: -embed-img %d -embed-width %d", img, width)
 	}
 	rng := rand.New(rand.NewSource(seed + 0x5eed))
 	enc := core.NewImageEncoder(rng, nn.MicroResNet50Config(width), dim)
+	compiled := enc.Compiled()
+	// Build the plan for the serving geometry now, so the first request
+	// pays no compile latency and a lowering problem fails startup.
+	if err := compiled.Precompile(3, img, img); err != nil {
+		return err
+	}
 	return reg.RegisterEmbedder("resnet",
-		serve.NewNetEmbedder("resnet", enc, []int{3, img, img}, dim))
+		serve.NewNetEmbedder("resnet", compiled, []int{3, img, img}, dim))
 }

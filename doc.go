@@ -3,6 +3,11 @@
 // 2024): the HDC-ZSC model, every substrate it depends on (tensor engine,
 // neural-network stack, HDC core, synthetic CUB-200 data), the compared
 // baselines, and a benchmark harness regenerating every table and figure
-// of the paper's evaluation. See README.md for a tour and DESIGN.md for
-// the system inventory and substitution rationale.
+// of the paper's evaluation — grown into a serving system: a sharded
+// batched inference engine (internal/infer), a micro-batching HTTP layer
+// (internal/serve, cmd/hdcserve), and a frozen-graph inference compiler
+// (nn.CompiledNet — BatchNorm folding, fused GEMM epilogues, plan-level
+// buffer scheduling), which is the serving entry point for neural
+// embedders. See README.md for a tour and DESIGN.md for the system
+// inventory and substitution rationale.
 package repro

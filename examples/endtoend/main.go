@@ -1,12 +1,14 @@
-// End-to-end serving: the shared-read inference path of PR 3. Earlier
-// examples fed the serving layer pre-embedded probes because nn layers
-// mutated cached state inside Forward even in eval mode — one frozen
-// backbone could not be shared across goroutines. The stateless Infer
-// path removes that restriction: this example runs RAW images through
-// one frozen ResNet encoder shared by many concurrent workers (each
-// with its own nn.Scratch), feeds the embeddings to the coalesced
-// engine readout, and verifies the concurrent answers are identical to
-// the serial eval-Forward reference.
+// End-to-end serving: the compiled frozen-graph inference path. PR 3's
+// stateless Infer let one frozen backbone be shared by any number of
+// goroutines; PR 5 compiles that frozen graph into an execution plan —
+// BatchNorms folded into conv weights, bias/ReLU/residual adds fused
+// into the GEMM write-back, activation buffers pre-scheduled into one
+// arena reservation (nn.CompiledNet). This example runs RAW images
+// through one compiled encoder shared by many concurrent workers (each
+// with its own nn.Scratch), feeds the embeddings to the engine readout,
+// and verifies the concurrent predictions match the serial eval-Forward
+// reference (the compiled path is tolerance-equal to Forward under BN
+// folding, and bitwise deterministic across worker counts).
 package main
 
 import (
@@ -54,8 +56,9 @@ func main() {
 	}
 	serial := time.Since(start)
 
-	// Concurrent pipeline: workers share the ONE frozen encoder through
-	// Infer, each embedding and querying its own batches.
+	// Concurrent pipeline: workers share the ONE compiled plan, each
+	// embedding and querying its own batches.
+	compiled := enc.Compiled()
 	workers := runtime.GOMAXPROCS(0)
 	start = time.Now()
 	got := make([]int, samples)
@@ -70,7 +73,7 @@ func main() {
 			for at := range jobs {
 				end := min(at+batch, samples)
 				sc.Reset()
-				emb := enc.Infer(sample(at, end), sc)
+				emb := compiled.Infer(sample(at, end), sc)
 				copy(got[at:end], eng.Predict(infer.DenseBatch(emb)))
 			}
 		}()
@@ -82,16 +85,25 @@ func main() {
 	wg.Wait()
 	parallel := time.Since(start)
 
+	// BN folding makes the compiled path tolerance-equal (≤1e-4 relative),
+	// not bitwise-equal, to eval Forward, and the rounding is machine-
+	// dependent (AVX2 vs portable kernel); a prediction may legitimately
+	// flip only where two class scores are nearly tied. Demand agreement
+	// everywhere but a sliver of near-ties rather than exact equality.
+	diverged := 0
 	for i := range ref {
 		if got[i] != ref[i] {
-			panic("concurrent end-to-end path diverged from the serial reference")
+			diverged++
 		}
+	}
+	if diverged > samples/100 {
+		panic(fmt.Sprintf("compiled end-to-end path diverged from the serial reference on %d/%d samples", diverged, samples))
 	}
 
 	fmt.Printf("%d raw %dx%d images → shared frozen ResNet (d'=%d → d=%d) → engine readout over %d classes\n\n",
 		samples, img, img, enc.Backbone.OutDim(), d, nClass)
 	fmt.Printf("  serial eval Forward + Query      : %8.2f ms\n", serial.Seconds()*1000)
-	fmt.Printf("  %d-worker shared-read pipeline    : %8.2f ms  (%.2fx, identical predictions)\n\n",
+	fmt.Printf("  %d-worker compiled-plan pipeline  : %8.2f ms  (%.2fx, matching predictions)\n\n",
 		workers, parallel.Seconds()*1000, serial.Seconds()/parallel.Seconds())
 	fmt.Println("→ the embedding stage is no longer the serial wall-clock floor; cmd/hdcserve exposes the same path over HTTP as POST /v1/embed-classify")
 }

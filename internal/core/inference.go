@@ -66,12 +66,12 @@ func EvalZSCWithEngine(m *Model, d *dataset.SynthCUB, split dataset.Split, eng *
 //
 // The whole path is a bounded embed→readout pipeline on one shared
 // frozen model: embedding batches fan out across worker goroutines that
-// run the stateless nn Infer path (per-worker nn.Scratch, zero
+// run the compiled frozen-graph plan (per-worker nn.Scratch, zero
 // steady-state allocation), and each worker queries the one shared
 // engine as soon as its batch is embedded. Accuracies are byte-identical
-// at any GOMAXPROCS: Infer is bitwise equal to eval Forward, each batch
-// is embedded by exactly one worker, and the hit counters are
-// order-independent sums.
+// at any GOMAXPROCS: the compiled plan is bitwise deterministic for any
+// worker budget, each batch is embedded by exactly one worker, and the
+// hit counters are order-independent sums.
 //
 // Backends whose scores depend on query order (the noisy crossbar
 // consumes a per-tile read-noise stream) keep concurrent embedding but
@@ -111,13 +111,18 @@ func engineAccuracy(m *Model, d *dataset.SynthCUB, eng *infer.Engine,
 		hit1.Add(h1)
 		hitK.Add(hK)
 	}
-	// embed assembles and embeds batch bi on the caller's scratch; the
-	// returned embedding lives in that scratch until its next Reset.
+	// embed assembles and embeds batch bi on the caller's scratch through
+	// the compiled frozen-graph plan (BN folded, epilogues fused — see
+	// ImageEncoder.Compiled); the returned embedding lives in that
+	// scratch until its next Reset. The compiled path is bitwise
+	// deterministic across GOMAXPROCS, which keeps seeded accuracies
+	// byte-identical at any core count.
+	compiled := m.Image.Compiled()
 	embed := func(sc *nn.Scratch, bi int) (*tensor.Tensor, []int) {
 		at := bi * batchSize
 		end := minInt(at+batchSize, len(idx))
 		batch := d.MakeBatch(idx[at:end], labelOf, nil, nil)
-		return m.Image.Infer(batch.Images, sc), batch.Labels
+		return compiled.Infer(batch.Images, sc), batch.Labels
 	}
 
 	stochastic := false

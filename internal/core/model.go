@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -31,6 +32,9 @@ type AttributeEncoder interface {
 type ImageEncoder struct {
 	Backbone *nn.ResNet
 	Proj     *nn.Linear // nil when no projection layer is used
+
+	compileOnce sync.Once
+	compiled    *nn.CompiledNet
 }
 
 // NewImageEncoder builds γ from a backbone config; projDim ≤ 0 omits the
@@ -72,6 +76,29 @@ func (e *ImageEncoder) Infer(x *tensor.Tensor, s *nn.Scratch) *tensor.Tensor {
 		emb = e.Proj.Infer(emb, s)
 	}
 	return emb
+}
+
+// CompileChain describes γ to the frozen-graph compiler (nn.Compile)
+// as its ordered layer chain: backbone, then the optional projection.
+func (e *ImageEncoder) CompileChain() []nn.Layer {
+	if e.Proj != nil {
+		return []nn.Layer{e.Backbone, e.Proj}
+	}
+	return []nn.Layer{e.Backbone}
+}
+
+// Compiled returns the encoder's frozen inference plan: BatchNorms
+// folded into conv weights, bias/ReLU/residual adds fused into GEMM
+// write-backs, buffers pre-scheduled (see nn.CompiledNet). It is the
+// serving and evaluation readout path; plans build lazily per input
+// geometry and refold automatically when parameters change (optimizer
+// steps, LoadParams). Unlike Infer — which stays bitwise equal to
+// Forward(x, false) — the compiled path matches Forward only within
+// the BN-folding rounding tolerance, while remaining bitwise
+// deterministic across worker counts itself.
+func (e *ImageEncoder) Compiled() *nn.CompiledNet {
+	e.compileOnce.Do(func() { e.compiled = nn.MustCompile(e) })
+	return e.compiled
 }
 
 // Backward propagates the embedding gradient through the encoder.

@@ -24,6 +24,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 )
@@ -71,6 +72,13 @@ type Crossbar struct {
 	cfg        Config
 	programmed *tensor.Tensor // [rows, cols] with programming noise baked in
 	scale      float32        // max |w| of the ideal matrix
+
+	// packedT lazily caches the programmed matrix transpose-packed for
+	// the register-blocked GEMM the batched MVM path runs on (the
+	// digital model of a parallel analog read). The programmed
+	// conductances are immutable after Program, so the pack never
+	// invalidates.
+	packedT atomic.Pointer[tensor.PackedB]
 
 	mu      sync.Mutex // guards readRng
 	readRng *rand.Rand
@@ -129,14 +137,25 @@ func (c *Crossbar) MatMulT(x *tensor.Tensor) *tensor.Tensor {
 
 // MatMulTInto is MatMulT writing into the caller's dst [n, rows] without
 // allocating — the steady-state path of the inference engine's crossbar
-// backend. The noise stream consumption is identical to MatMulT (one
-// corrupt pass per probe row, in row order).
+// backend. The ideal products run through the packed register-blocked
+// GEMM over a cached transpose-packed tile of the programmed matrix
+// (one analog array computes all its output lines at once; the digital
+// model may too — FloatBackend uses the same kernel, which is what
+// keeps the ideal crossbar bit-identical to the float reference). The
+// noise stream consumption is identical to MatMulT (one corrupt pass
+// per probe row, in row order), so seeded noisy runs stay reproducible.
 func (c *Crossbar) MatMulTInto(dst, x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != c.Cols() {
 		panic(fmt.Sprintf("imc.MatMulT: input %v incompatible with crossbar %dx%d",
 			x.Shape(), c.Rows(), c.Cols()))
 	}
-	tensor.MatMulTInto(dst, x, c.programmed)
+	pb := c.packedT.Load()
+	if pb == nil {
+		// Concurrent builders produce identical packs; one wins.
+		pb = tensor.PackBT(c.programmed)
+		c.packedT.Store(pb)
+	}
+	tensor.GemmInto(dst, x, nil, tensor.GemmOpts{PB: pb})
 	for r := 0; r < dst.Dim(0); r++ {
 		c.corruptRow(dst.Row(r), x.Row(r))
 	}

@@ -64,6 +64,17 @@ func (s *Scratch) View(src *tensor.Tensor, shape ...int) *tensor.Tensor {
 	return s.arena.View(src, shape...)
 }
 
+// Grab returns an UNINITIALIZED float32 slice carved from the arena,
+// valid until Reset. The compiled inference plan (CompiledNet) reserves
+// its activation slab this way; callers must overwrite every element
+// they read.
+func (s *Scratch) Grab(n int) []float32 { return s.arena.Grab(n) }
+
+// Wrap returns an arena-backed tensor header over data (not copied).
+func (s *Scratch) Wrap(data []float32, shape ...int) *tensor.Tensor {
+	return s.arena.Wrap(data, shape...)
+}
+
 // GemmOpts returns the scratch-backed GEMM options layer matmuls use:
 // this scratch's packing workspace and worker budget.
 func (s *Scratch) GemmOpts() tensor.GemmOpts {

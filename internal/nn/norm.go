@@ -11,10 +11,10 @@ import (
 // and spatial axes, with learnable per-channel scale (gamma) and shift
 // (beta) and running statistics for inference.
 type BatchNorm2D struct {
-	Gamma, Beta          *Param
+	Gamma, Beta             *Param
 	RunningMean, RunningVar *tensor.Tensor
-	Momentum             float32
-	Eps                  float32
+	Momentum                float32
+	Eps                     float32
 
 	// cached forward state for backward
 	xhat      *tensor.Tensor
@@ -167,6 +167,28 @@ func (bn *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	return dx
+}
+
+// StatsFingerprint folds the running statistics' bit patterns into one
+// 64-bit FNV-1a value — the running-stat analogue of Param.Version the
+// frozen-graph compiler keys its BN folds on. A content hash rather
+// than a mutation counter, so EVERY way the stats can change — training
+// Forward passes, checkpoint restores through StateParams (which write
+// the tensors directly), hand edits — invalidates the fold; no caller
+// cooperation required.
+func (bn *BatchNorm2D) StatsFingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range bn.RunningMean.Data {
+		h = (h ^ uint64(math.Float32bits(v))) * prime64
+	}
+	for _, v := range bn.RunningVar.Data {
+		h = (h ^ uint64(math.Float32bits(v))) * prime64
+	}
+	return h
 }
 
 // Params returns gamma and beta.

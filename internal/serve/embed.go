@@ -42,6 +42,13 @@ type NetEmbedder struct {
 // of inShape and producing outDim-dimensional embeddings. The network
 // must be frozen: nothing may call its training Forward while the
 // embedder serves.
+//
+// When net is a layer graph the frozen-graph compiler can lower
+// (nn.Compile), the embedder serves the compiled plan — BatchNorms
+// folded into conv weights, bias/ReLU/residual adds fused into GEMM
+// write-backs, buffers pre-scheduled — and the plan self-invalidates
+// on parameter version bumps. Graphs with unsupported layers fall back
+// to the layer-by-layer Infer path unchanged.
 func NewNetEmbedder(name string, net nn.Inferer, inShape []int, outDim int) *NetEmbedder {
 	if name == "" {
 		panic("serve.NewNetEmbedder: empty name")
@@ -55,6 +62,17 @@ func NewNetEmbedder(name string, net nn.Inferer, inShape []int, outDim int) *Net
 	for _, s := range inShape {
 		if s <= 0 {
 			panic(fmt.Sprintf("serve.NewNetEmbedder: non-positive dimension in %v", inShape))
+		}
+	}
+	if _, already := net.(*nn.CompiledNet); !already {
+		if l, ok := net.(nn.Layer); ok {
+			// Precompile surfaces lowering errors (and warms the plan for
+			// this embedder's geometry) at registration time, so a graph
+			// the compiler cannot lower falls back here rather than
+			// panicking on the first request.
+			if cn, err := nn.Compile(l); err == nil && cn.Precompile(inShape...) == nil {
+				net = cn
+			}
 		}
 	}
 	return &NetEmbedder{

@@ -17,10 +17,18 @@ import (
 	"repro/internal/tensor"
 )
 
-// newTestEmbedder builds a small frozen MLP embedder (Linear→ReLU→Linear
-// through the stateless Infer path) matching the fixture's probe
-// dimensionality, plus the raw inputs it will embed.
+// newTestEmbedder builds a small frozen MLP embedder (Linear→ReLU→Linear,
+// auto-compiled into a frozen-graph plan by NewNetEmbedder) matching the
+// fixture's probe dimensionality, plus the raw inputs it will embed. The
+// source net is returned too so tests can run the legacy Forward path as
+// the offline reference — bitwise identical to the compiled plan for
+// BN-free graphs.
 func newTestEmbedder(d, samples int, seed int64) (*NetEmbedder, *tensor.Tensor) {
+	e, _, inputs := newTestEmbedderNet(d, samples, seed)
+	return e, inputs
+}
+
+func newTestEmbedderNet(d, samples int, seed int64) (*NetEmbedder, *nn.Sequential, *tensor.Tensor) {
 	rng := rand.New(rand.NewSource(seed))
 	const in = 24
 	net := nn.NewSequential(
@@ -28,7 +36,7 @@ func newTestEmbedder(d, samples int, seed int64) (*NetEmbedder, *tensor.Tensor) 
 		nn.NewReLU(),
 		nn.NewLinear(rng, "fc2", 32, d, true),
 	)
-	return NewNetEmbedder("mlp", net, []int{in}, d), tensor.Randn(rng, 1, samples, in)
+	return NewNetEmbedder("mlp", net, []int{in}, d), net, tensor.Randn(rng, 1, samples, in)
 }
 
 func TestNetEmbedderShapesAndErrors(t *testing.T) {
@@ -88,14 +96,15 @@ func TestHTTPEmbedClassifyEndToEndParity(t *testing.T) {
 	const classes, d, samples = 13, 64, 16
 	f := newFixture(classes, d, 1, 21)
 	srv, reg := newTestServer(t, f)
-	e, inputs := newTestEmbedder(d, samples, 22)
+	e, seq, inputs := newTestEmbedderNet(d, samples, 22)
 	if err := reg.RegisterEmbedder("mlp", e); err != nil {
 		t.Fatal(err)
 	}
 
 	// Offline reference: mutating eval Forward (the legacy path) over the
-	// same frozen net, then a direct batched engine query.
-	seq := e.net.(*nn.Sequential)
+	// same frozen net, then a direct batched engine query. The served
+	// embedder runs the compiled plan; for a BN-free MLP the fused
+	// epilogues are exact, so the parity below stays bitwise.
 	offline := seq.Forward(inputs, false)
 	want := infer.New(infer.NewFloatBackend(f.phi, f.labels, 1)).Query(infer.DenseBatch(offline), 3)
 

@@ -31,6 +31,14 @@ const arenaMinSlab = 1 << 16
 
 // alloc returns a zeroed slice of n float32s carved from the arena.
 func (a *Arena) alloc(n int) []float32 {
+	out := a.allocRaw(n)
+	clear(out)
+	return out
+}
+
+// allocRaw carves n float32s from the arena without clearing them; the
+// contents are whatever a previous pass left behind.
+func (a *Arena) allocRaw(n int) []float32 {
 	if len(a.slabs) == 0 || n > len(a.slabs[len(a.slabs)-1])-a.off {
 		size := arenaMinSlab
 		if n > size {
@@ -43,7 +51,6 @@ func (a *Arena) alloc(n int) []float32 {
 	slab := a.slabs[len(a.slabs)-1]
 	out := slab[a.off : a.off+n : a.off+n]
 	a.off += n
-	clear(out)
 	return out
 }
 
@@ -101,6 +108,29 @@ func (a *Arena) AllocLike(ref *Tensor) *Tensor {
 	t := a.header()
 	t.Data = a.alloc(len(ref.Data))
 	t.shape = a.shapeCopy(ref.shape)
+	return t
+}
+
+// Grab returns an UNINITIALIZED slice of n float32s carved from the
+// arena, valid until the next Reset. It is Alloc without the zero fill
+// and without a tensor header: the compiled inference plan reserves its
+// whole activation slab this way and overwrites every region it reads,
+// so the per-call memclr of activation-sized buffers disappears.
+// Callers must not read elements they have not written.
+func (a *Arena) Grab(n int) []float32 { return a.allocRaw(n) }
+
+// Wrap returns an arena-backed tensor header over data (not copied)
+// with the given shape; the element count must match. This is how the
+// compiled plan hands out its slab regions as tensors without heap
+// allocations.
+func (a *Arena) Wrap(data []float32, shape ...int) *Tensor {
+	n := checkShape("Arena.Wrap", shape)
+	if n != len(data) {
+		panic("tensor.Arena.Wrap: element count mismatch")
+	}
+	t := a.header()
+	t.Data = data
+	t.shape = a.shapeCopy(shape)
 	return t
 }
 

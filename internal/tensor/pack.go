@@ -33,11 +33,18 @@ import (
 // kernel (matmulRefInto), so results are compared against it with a
 // tolerance, not bit equality.
 //
-// Fused epilogue: an optional per-row bias (convolution channel bias) or
-// per-column bias (linear layer bias) is added when a tile's final k
-// slice is stored, which is arithmetically identical to a separate bias
-// pass after the full product (one add per element, after the complete
-// sum) without re-touching the output matrix from DRAM.
+// Fused epilogue: optional per-row bias (convolution channel bias),
+// per-column bias (linear layer bias), an elementwise accumulator add
+// (residual shortcut), and a ReLU clamp are applied when a tile's final
+// k slice is stored — in that order, each arithmetically identical to a
+// separate pass after the full product (every element's complete sum is
+// formed first) without re-touching the output matrix from DRAM. On
+// AVX2 machines the RowBias/Accum/ReLU epilogue runs inside the
+// assembly micro-kernel's store, merging with the partial sums while
+// the tile is still in registers; elsewhere (and for edge tiles and
+// ColBias) the portable epilogueTile applies the identical arithmetic
+// to the just-stored tile, so the two paths are bitwise interchangeable
+// within a process.
 
 const (
 	// gemmMR × gemmNR is the micro-tile: 6×16 float32 — twelve 8-lane YMM
@@ -139,6 +146,58 @@ func packBPanels(dst, b []float32, n, kcb, pcs, jpLo, jpHi, panelStride int) {
 			}
 		}
 	}
+}
+
+// PackBT packs bᵀ — with b given row-major [n, k] — into the GEMM
+// column-panel layout of a [k, n] operand, without materializing the
+// transpose. A GEMM fed the result is bitwise identical to one fed
+// PackB(Transpose2D(b)): packing is pure data movement either way, only
+// the gather order differs. This is the natural form for frozen
+// class-memory matrices (rows are class embeddings) consumed as x·ϕᵀ
+// similarity products.
+func PackBT(b *Tensor) *PackedB {
+	if b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor.PackBT: want rank-2 operand, have %v", b.Shape()))
+	}
+	return PackBTRows(b, 0, b.Dim(0))
+}
+
+// PackBTRows packs rows [lo, hi) of b [n, k] as the transposed operand
+// bᵀ[:, lo:hi] — a [k, hi-lo] packed matrix. Sharded readouts (the
+// inference engine's class-range shards) pack exactly the tile they
+// own.
+func PackBTRows(b *Tensor, lo, hi int) *PackedB {
+	if b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor.PackBTRows: want rank-2 operand, have %v", b.Shape()))
+	}
+	if lo < 0 || hi > b.Dim(0) || lo >= hi {
+		panic(fmt.Sprintf("tensor.PackBTRows: bad row range [%d,%d) for %d rows", lo, hi, b.Dim(0)))
+	}
+	k, n := b.Dim(1), hi-lo
+	nPanels := (n + gemmNR - 1) / gemmNR
+	nPad := nPanels * gemmNR
+	pb := &PackedB{k: k, n: n, nPad: nPad, data: make([]float32, k*nPad)}
+	for pcs := 0; pcs < k; pcs += gemmKC {
+		kcb := min(gemmKC, k-pcs)
+		block := pb.data[pcs*nPad:]
+		for jp := 0; jp < nPanels; jp++ {
+			j0 := jp * gemmNR
+			panel := block[jp*gemmNR*kcb : (jp+1)*gemmNR*kcb]
+			w := min(gemmNR, n-j0)
+			for c := 0; c < w; c++ {
+				src := b.Data[(lo+j0+c)*k+pcs:]
+				for p := 0; p < kcb; p++ {
+					panel[p*gemmNR+c] = src[p]
+				}
+			}
+			for c := w; c < gemmNR; c++ {
+				for p := 0; p < kcb; p++ {
+					panel[p*gemmNR+c] = 0
+				}
+			}
+		}
+	}
+	return pb
 }
 
 // packAPanels packs every row micro-panel of A's k-slice [pcs, pcs+kcb)
@@ -247,11 +306,25 @@ type GemmOpts struct {
 	// column j when its final k-slice is stored — the linear-layer bias
 	// epilogue.
 	ColBias []float32
+	// Accum, if non-nil (length ≥ m·n, dst's row-major layout), is added
+	// elementwise when a tile's final k-slice is stored — the fused
+	// residual-add epilogue of the compiled inference path. It must not
+	// alias dst.
+	Accum []float32
+	// ReLU clamps each output element to max(0, ·) at final-slice store,
+	// after every bias/Accum addition — the fused activation epilogue.
+	// NaN inputs clamp to 0, matching the eval-mode ReLU layer.
+	ReLU bool
 	// PB supplies B pre-packed (PackB); the b operand is then ignored and
 	// the per-call B packing pass is skipped.
 	PB *PackedB
 	// Buf supplies the packing workspace; nil uses a pooled one.
 	Buf *GemmBuf
+}
+
+// hasEpilogue reports whether any fused write-back work is requested.
+func (o *GemmOpts) hasEpilogue() bool {
+	return o.RowBias != nil || o.ColBias != nil || o.Accum != nil || o.ReLU
 }
 
 // GemmInto computes dst[m,n] = a[m,k] × b[k,n] (plus any fused epilogue)
@@ -313,6 +386,9 @@ func gemm(dst, a, b []float32, m, k, n int, o GemmOpts) {
 	}
 	if o.ColBias != nil && len(o.ColBias) < n {
 		panic("tensor.gemm: ColBias shorter than n")
+	}
+	if o.Accum != nil && len(o.Accum) < m*n {
+		panic("tensor.gemm: Accum shorter than m·n")
 	}
 	mPanels := (m + gemmMR - 1) / gemmMR
 	nPanels := (n + gemmNR - 1) / gemmNR
@@ -397,6 +473,12 @@ func gemmPanelRange(dst, apack, b, bpack []float32, m, k, n, mPanels, jpLo, jpHi
 				i0 := ip * gemmMR
 				mr := min(gemmMR, m-i0)
 				if mr == gemmMR && nr == gemmNR {
+					if last && o.hasEpilogue() &&
+						microKernelEpi(dst[i0*n+j0:], n, ap, bp, kcb, first, o.ReLU, o.RowBias, o.ColBias, o.Accum, i0, j0) {
+						// The micro-kernel merged bias/accum/relu into the
+						// final store; nothing left to apply for this tile.
+						continue
+					}
 					microKernel(dst[i0*n+j0:], n, ap, bp, kcb, first)
 				} else {
 					// Edge tile: compute the full padded tile into tmp, then
@@ -417,18 +499,22 @@ func gemmPanelRange(dst, apack, b, bpack []float32, m, k, n, mPanels, jpLo, jpHi
 						}
 					}
 				}
-				if last && (o.RowBias != nil || o.ColBias != nil) {
-					addBiasTile(dst, o, i0, j0, mr, nr, n)
+				if last && o.hasEpilogue() {
+					epilogueTile(dst, o, i0, j0, mr, nr, n)
 				}
 			}
 		}
 	}
 }
 
-// addBiasTile applies the fused epilogue to one stored tile: row bias
-// and/or column bias added exactly once, after the element's complete
-// k accumulation — bitwise identical to a separate bias pass.
-func addBiasTile(dst []float32, o GemmOpts, i0, j0, mr, nr, ldd int) {
+// epilogueTile applies the fused epilogue to one stored tile: row bias,
+// column bias, accumulator add, then the ReLU clamp, each exactly once
+// after the element's complete k accumulation — bitwise identical to
+// the same sequence of separate passes, and to the in-register epilogue
+// of the AVX2 micro-kernel (same additions in the same order; the
+// vector max matches the scalar clamp on every input, NaN and signed
+// zero included).
+func epilogueTile(dst []float32, o GemmOpts, i0, j0, mr, nr, ldd int) {
 	for r := 0; r < mr; r++ {
 		drow := dst[(i0+r)*ldd+j0 : (i0+r)*ldd+j0+nr]
 		if o.RowBias != nil {
@@ -441,6 +527,19 @@ func addBiasTile(dst []float32, o GemmOpts, i0, j0, mr, nr, ldd int) {
 			cb := o.ColBias[j0 : j0+nr]
 			for c := range drow {
 				drow[c] += cb[c]
+			}
+		}
+		if o.Accum != nil {
+			arow := o.Accum[(i0+r)*ldd+j0 : (i0+r)*ldd+j0+nr]
+			for c := range drow {
+				drow[c] += arow[c]
+			}
+		}
+		if o.ReLU {
+			for c := range drow {
+				if !(drow[c] > 0) {
+					drow[c] = 0
+				}
 			}
 		}
 	}

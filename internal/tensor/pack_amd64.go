@@ -20,6 +20,23 @@ package tensor
 //go:noescape
 func gemmKernel6x16(d *float32, ldd int, ap, bp *float32, kc int, first bool)
 
+// epiFlags bits for gemmKernel6x16Epi.
+const (
+	epiFirst = 1 << 0 // overwrite dst (no merge of earlier k-slices)
+	epiReLU  = 1 << 1 // clamp each element to max(0, ·) before the store
+)
+
+// gemmKernel6x16Epi is gemmKernel6x16 with the fused write-back
+// epilogue of a tile's FINAL k-slice: the tile's partial sums are
+// merged with dst (unless epiFirst), then the per-row bias broadcast,
+// the accumulator tile (same ldd as d), and the ReLU clamp are applied
+// in registers before the single store — the output matrix is written
+// exactly once and never re-read. rowBias and accum may be nil.
+// Implemented in pack_amd64.s; requires AVX2+FMA.
+//
+//go:noescape
+func gemmKernel6x16Epi(d *float32, ldd int, ap, bp *float32, kc int, flags int, rowBias, accum *float32)
+
 // cpuid executes CPUID with the given leaf/subleaf.
 func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 
@@ -56,4 +73,34 @@ func microKernel(d []float32, ldd int, ap, bp []float32, kc int, first bool) {
 		return
 	}
 	microKernelGeneric(d, ldd, ap, bp, kc, first)
+}
+
+// microKernelEpi computes a full tile's final k-slice with the
+// bias/accum/relu epilogue fused into the assembly kernel's store,
+// reporting whether it ran. It declines (driver falls back to
+// microKernel + epilogueTile, identical arithmetic) when the assembly
+// kernel is unavailable or a column bias is requested — the column
+// vector epilogue is not worth the extra kernel variant, since the
+// linear-layer path that uses it is one GEMM per call, not one per
+// conv plane.
+func microKernelEpi(d []float32, ldd int, ap, bp []float32, kc int, first, relu bool, rowBias, colBias, accum []float32, i0, j0 int) bool {
+	if !haveGemmAsm || colBias != nil {
+		return false
+	}
+	flags := 0
+	if first {
+		flags |= epiFirst
+	}
+	if relu {
+		flags |= epiReLU
+	}
+	var rb, ac *float32
+	if rowBias != nil {
+		rb = &rowBias[i0]
+	}
+	if accum != nil {
+		ac = &accum[i0*ldd+j0]
+	}
+	gemmKernel6x16Epi(&d[0], ldd, &ap[0], &bp[0], kc, flags, rb, ac)
+	return true
 }

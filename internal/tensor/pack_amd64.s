@@ -114,6 +114,233 @@ accumulate:
 	VZEROUPPER
 	RET
 
+// func gemmKernel6x16Epi(d *float32, ldd int, ap, bp *float32, kc int, flags int, rowBias, accum *float32)
+//
+// gemmKernel6x16 for a tile's FINAL k-slice with the write-back
+// epilogue fused into the store: after the k loop the 12 accumulators
+// are merged with dst (skipped when flags&1, the overwrite case), then
+// per row the broadcast rowBias value and the matching accum row (same
+// ldd stride as d) are added and, when flags&2, the lanes are clamped
+// with VMAXPS against zero — operand order chosen so NaN and -0 inputs
+// clamp to +0 exactly like the scalar epilogue — before the one store.
+// rowBias/accum may be NULL. dst is written once and never re-read
+// after this call.
+TEXT ·gemmKernel6x16Epi(SB), NOSPLIT, $0-64
+	MOVQ d+0(FP), DI
+	MOVQ ldd+8(FP), SI
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kc+32(FP), CX
+
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+	VXORPS Y12, Y12, Y12
+	VXORPS Y13, Y13, Y13
+	VXORPS Y14, Y14, Y14
+	VXORPS Y15, Y15, Y15
+
+ekloop:
+	VMOVUPS (BX), Y0             // b[0:8]
+	VMOVUPS 32(BX), Y1           // b[8:16]
+
+	VBROADCASTSS (AX), Y2        // a row 0
+	VFMADD231PS  Y0, Y2, Y4
+	VFMADD231PS  Y1, Y2, Y5
+	VBROADCASTSS 4(AX), Y3       // a row 1
+	VFMADD231PS  Y0, Y3, Y6
+	VFMADD231PS  Y1, Y3, Y7
+	VBROADCASTSS 8(AX), Y2       // a row 2
+	VFMADD231PS  Y0, Y2, Y8
+	VFMADD231PS  Y1, Y2, Y9
+	VBROADCASTSS 12(AX), Y3      // a row 3
+	VFMADD231PS  Y0, Y3, Y10
+	VFMADD231PS  Y1, Y3, Y11
+	VBROADCASTSS 16(AX), Y2      // a row 4
+	VFMADD231PS  Y0, Y2, Y12
+	VFMADD231PS  Y1, Y2, Y13
+	VBROADCASTSS 20(AX), Y3      // a row 5
+	VFMADD231PS  Y0, Y3, Y14
+	VFMADD231PS  Y1, Y3, Y15
+
+	ADDQ $24, AX                 // 6 floats
+	ADDQ $64, BX                 // 16 floats
+	DECQ CX
+	JNZ  ekloop
+
+	SHLQ  $2, SI                 // row stride in bytes
+	MOVQ  flags+40(FP), DX
+	MOVQ  rowBias+48(FP), R10
+	MOVQ  accum+56(FP), R9
+	VXORPS Y1, Y1, Y1            // zero lanes for the ReLU clamp
+
+	// Row 0: Y4/Y5.
+	TESTQ $1, DX
+	JNZ   emerge0
+	VADDPS (DI), Y4, Y4
+	VADDPS 32(DI), Y5, Y5
+emerge0:
+	TESTQ R10, R10
+	JZ    ebias0
+	VBROADCASTSS (R10), Y0
+	VADDPS Y0, Y4, Y4
+	VADDPS Y0, Y5, Y5
+ebias0:
+	TESTQ R9, R9
+	JZ    eacc0
+	VADDPS (R9), Y4, Y4
+	VADDPS 32(R9), Y5, Y5
+	ADDQ  SI, R9
+eacc0:
+	TESTQ $2, DX
+	JZ    erelu0
+	VMAXPS Y1, Y4, Y4
+	VMAXPS Y1, Y5, Y5
+erelu0:
+	VMOVUPS Y4, (DI)
+	VMOVUPS Y5, 32(DI)
+	ADDQ    SI, DI
+
+	// Row 1: Y6/Y7.
+	TESTQ $1, DX
+	JNZ   emerge1
+	VADDPS (DI), Y6, Y6
+	VADDPS 32(DI), Y7, Y7
+emerge1:
+	TESTQ R10, R10
+	JZ    ebias1
+	VBROADCASTSS 4(R10), Y0
+	VADDPS Y0, Y6, Y6
+	VADDPS Y0, Y7, Y7
+ebias1:
+	TESTQ R9, R9
+	JZ    eacc1
+	VADDPS (R9), Y6, Y6
+	VADDPS 32(R9), Y7, Y7
+	ADDQ  SI, R9
+eacc1:
+	TESTQ $2, DX
+	JZ    erelu1
+	VMAXPS Y1, Y6, Y6
+	VMAXPS Y1, Y7, Y7
+erelu1:
+	VMOVUPS Y6, (DI)
+	VMOVUPS Y7, 32(DI)
+	ADDQ    SI, DI
+
+	// Row 2: Y8/Y9.
+	TESTQ $1, DX
+	JNZ   emerge2
+	VADDPS (DI), Y8, Y8
+	VADDPS 32(DI), Y9, Y9
+emerge2:
+	TESTQ R10, R10
+	JZ    ebias2
+	VBROADCASTSS 8(R10), Y0
+	VADDPS Y0, Y8, Y8
+	VADDPS Y0, Y9, Y9
+ebias2:
+	TESTQ R9, R9
+	JZ    eacc2
+	VADDPS (R9), Y8, Y8
+	VADDPS 32(R9), Y9, Y9
+	ADDQ  SI, R9
+eacc2:
+	TESTQ $2, DX
+	JZ    erelu2
+	VMAXPS Y1, Y8, Y8
+	VMAXPS Y1, Y9, Y9
+erelu2:
+	VMOVUPS Y8, (DI)
+	VMOVUPS Y9, 32(DI)
+	ADDQ    SI, DI
+
+	// Row 3: Y10/Y11.
+	TESTQ $1, DX
+	JNZ   emerge3
+	VADDPS (DI), Y10, Y10
+	VADDPS 32(DI), Y11, Y11
+emerge3:
+	TESTQ R10, R10
+	JZ    ebias3
+	VBROADCASTSS 12(R10), Y0
+	VADDPS Y0, Y10, Y10
+	VADDPS Y0, Y11, Y11
+ebias3:
+	TESTQ R9, R9
+	JZ    eacc3
+	VADDPS (R9), Y10, Y10
+	VADDPS 32(R9), Y11, Y11
+	ADDQ  SI, R9
+eacc3:
+	TESTQ $2, DX
+	JZ    erelu3
+	VMAXPS Y1, Y10, Y10
+	VMAXPS Y1, Y11, Y11
+erelu3:
+	VMOVUPS Y10, (DI)
+	VMOVUPS Y11, 32(DI)
+	ADDQ    SI, DI
+
+	// Row 4: Y12/Y13.
+	TESTQ $1, DX
+	JNZ   emerge4
+	VADDPS (DI), Y12, Y12
+	VADDPS 32(DI), Y13, Y13
+emerge4:
+	TESTQ R10, R10
+	JZ    ebias4
+	VBROADCASTSS 16(R10), Y0
+	VADDPS Y0, Y12, Y12
+	VADDPS Y0, Y13, Y13
+ebias4:
+	TESTQ R9, R9
+	JZ    eacc4
+	VADDPS (R9), Y12, Y12
+	VADDPS 32(R9), Y13, Y13
+	ADDQ  SI, R9
+eacc4:
+	TESTQ $2, DX
+	JZ    erelu4
+	VMAXPS Y1, Y12, Y12
+	VMAXPS Y1, Y13, Y13
+erelu4:
+	VMOVUPS Y12, (DI)
+	VMOVUPS Y13, 32(DI)
+	ADDQ    SI, DI
+
+	// Row 5: Y14/Y15.
+	TESTQ $1, DX
+	JNZ   emerge5
+	VADDPS (DI), Y14, Y14
+	VADDPS 32(DI), Y15, Y15
+emerge5:
+	TESTQ R10, R10
+	JZ    ebias5
+	VBROADCASTSS 20(R10), Y0
+	VADDPS Y0, Y14, Y14
+	VADDPS Y0, Y15, Y15
+ebias5:
+	TESTQ R9, R9
+	JZ    eacc5
+	VADDPS (R9), Y14, Y14
+	VADDPS 32(R9), Y15, Y15
+eacc5:
+	TESTQ $2, DX
+	JZ    erelu5
+	VMAXPS Y1, Y14, Y14
+	VMAXPS Y1, Y15, Y15
+erelu5:
+	VMOVUPS Y14, (DI)
+	VMOVUPS Y15, 32(DI)
+	VZEROUPPER
+	RET
+
 // func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 TEXT ·cpuid(SB), NOSPLIT, $0-24
 	MOVL eaxIn+0(FP), AX

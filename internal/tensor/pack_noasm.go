@@ -9,3 +9,10 @@ const haveGemmAsm = false
 func microKernel(d []float32, ldd int, ap, bp []float32, kc int, first bool) {
 	microKernelGeneric(d, ldd, ap, bp, kc, first)
 }
+
+// microKernelEpi reports false off amd64: the driver computes the tile
+// with the portable kernel and applies the identical epilogue arithmetic
+// via epilogueTile.
+func microKernelEpi(d []float32, ldd int, ap, bp []float32, kc int, first, relu bool, rowBias, colBias, accum []float32, i0, j0 int) bool {
+	return false
+}

@@ -159,6 +159,156 @@ func TestPackBMatchesOnTheFly(t *testing.T) {
 	}
 }
 
+// TestGEMMFusedEpilogueMatchesSeparatePasses pins the write-back
+// epilogue contract of the frozen-graph compiler: row bias + residual
+// accumulator + ReLU fused at final-slice store are bitwise identical
+// to the same operations as separate full passes after the product —
+// on every edge shape (asm fast path for full tiles, portable
+// epilogueTile for edges), at any worker count.
+func TestGEMMFusedEpilogueMatchesSeparatePasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, sh := range gemmEdgeShapes {
+		a := Randn(rng, 1, sh.m, sh.k)
+		b := Randn(rng, 1, sh.k, sh.n)
+		rowBias := Randn(rng, 1, sh.m)
+		accum := Randn(rng, 1, sh.m, sh.n)
+
+		plain := New(sh.m, sh.n)
+		GemmInto(plain, a, b, GemmOpts{})
+
+		// Separate passes, in the documented epilogue order.
+		want := plain.Clone()
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				v := want.Data[i*sh.n+j] + rowBias.Data[i]
+				v += accum.Data[i*sh.n+j]
+				if !(v > 0) {
+					v = 0
+				}
+				want.Data[i*sh.n+j] = v
+			}
+		}
+		for _, workers := range []int{1, 3} {
+			got := Full(-9, sh.m, sh.n)
+			GemmInto(got, a, b, GemmOpts{
+				Workers: workers, RowBias: rowBias.Data, Accum: accum.Data, ReLU: true,
+			})
+			if !bitsEqual(got, want) {
+				t.Fatalf("%dx%dx%d workers=%d fused bias+accum+relu differs from separate passes",
+					sh.m, sh.k, sh.n, workers)
+			}
+		}
+
+		// Each feature alone must also match its separate pass.
+		wantAcc := plain.Clone()
+		for i := range wantAcc.Data {
+			wantAcc.Data[i] += accum.Data[i]
+		}
+		gotAcc := New(sh.m, sh.n)
+		GemmInto(gotAcc, a, b, GemmOpts{Accum: accum.Data})
+		if !bitsEqual(gotAcc, wantAcc) {
+			t.Fatalf("%dx%dx%d fused accum differs from separate add", sh.m, sh.k, sh.n)
+		}
+
+		wantRelu := plain.Clone()
+		for i, v := range wantRelu.Data {
+			if !(v > 0) {
+				wantRelu.Data[i] = 0
+			}
+		}
+		gotRelu := New(sh.m, sh.n)
+		GemmInto(gotRelu, a, b, GemmOpts{ReLU: true})
+		if !bitsEqual(gotRelu, wantRelu) {
+			t.Fatalf("%dx%dx%d fused relu differs from separate clamp", sh.m, sh.k, sh.n)
+		}
+	}
+}
+
+// TestGEMMColBiasWithReLU pins the one epilogue combination the asm
+// kernel declines (column bias present): the portable path must apply
+// bias before the clamp.
+func TestGEMMColBiasWithReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	const m, k, n = 13, 40, 37
+	a := Randn(rng, 1, m, k)
+	b := Randn(rng, 1, k, n)
+	colBias := Randn(rng, 1, n)
+	want := New(m, n)
+	GemmInto(want, a, b, GemmOpts{ColBias: colBias.Data})
+	for i, v := range want.Data {
+		if !(v > 0) {
+			want.Data[i] = 0
+		}
+	}
+	got := New(m, n)
+	GemmInto(got, a, b, GemmOpts{ColBias: colBias.Data, ReLU: true})
+	if !bitsEqual(got, want) {
+		t.Fatal("fused col bias + relu differs from separate passes")
+	}
+}
+
+// TestPackBTMatchesTransposedPackB pins that packing bᵀ directly from
+// b's rows produces bit-for-bit the panels PackB builds from the
+// materialized transpose, for full matrices and row ranges.
+func TestPackBTMatchesTransposedPackB(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, sh := range [][2]int{{1, 1}, {5, 3}, {23, 96}, {200, gemmKC + 7}, {33, 64}} {
+		rows, k := sh[0], sh[1]
+		b := Randn(rng, 1, rows, k)
+		bt := Transpose2D(b)
+		want := PackB(bt)
+		got := PackBT(b)
+		if got.k != want.k || got.n != want.n || got.nPad != want.nPad {
+			t.Fatalf("%dx%d: dims (%d,%d,%d) vs (%d,%d,%d)", rows, k,
+				got.k, got.n, got.nPad, want.k, want.n, want.nPad)
+		}
+		for i := range want.data {
+			if math.Float32bits(got.data[i]) != math.Float32bits(want.data[i]) {
+				t.Fatalf("%dx%d: packed element %d differs", rows, k, i)
+			}
+		}
+		if rows > 2 {
+			lo, hi := 1, rows-1
+			sub := New(hi-lo, k)
+			for r := lo; r < hi; r++ {
+				copy(sub.Row(r-lo), b.Row(r))
+			}
+			wantSub := PackB(Transpose2D(sub))
+			gotSub := PackBTRows(b, lo, hi)
+			for i := range wantSub.data {
+				if math.Float32bits(gotSub.data[i]) != math.Float32bits(wantSub.data[i]) {
+					t.Fatalf("%dx%d rows [%d,%d): packed element %d differs", rows, k, lo, hi, i)
+				}
+			}
+		}
+	}
+}
+
+// TestArenaGrabWrap pins the uninitialized-slab contract the compiled
+// plan builds on: Grab hands out capacity without clearing it, Wrap
+// turns a region into a tensor without copying, and a warm arena serves
+// both with zero heap allocations.
+func TestArenaGrabWrap(t *testing.T) {
+	var a Arena
+	s1 := a.Grab(64)
+	for i := range s1 {
+		s1[i] = float32(i)
+	}
+	w := a.Wrap(s1[:6], 2, 3)
+	if w.Dim(0) != 2 || w.Dim(1) != 3 || &w.Data[0] != &s1[0] {
+		t.Fatalf("Wrap: shape %v or data not shared", w.Shape())
+	}
+	a.Reset()
+	s2 := a.Grab(64)
+	if &s2[0] != &s1[0] {
+		t.Fatal("Grab after Reset did not reuse the slab")
+	}
+	// Uninitialized by design: prior contents are visible.
+	if s2[5] != 5 {
+		t.Fatalf("Grab cleared the slab: s2[5] = %v", s2[5])
+	}
+}
+
 // TestGemmEmptyNoOp pins the degenerate case: a GEMM with any zero
 // dimension (only reachable through the raw-slice entry point — tensor
 // shapes are strictly positive) is a no-op that touches neither dst nor
