@@ -306,9 +306,8 @@ func BenchmarkEndToEndClassify(b *testing.B) {
 			}
 		}
 	})
-	b.Run("parallel-embed", func(b *testing.B) {
+	parallel := func(b *testing.B, compiled *nn.CompiledNet) {
 		workers := runtime.GOMAXPROCS(0)
-		compiled := enc.Compiled()
 		for i := 0; i < b.N; i++ {
 			jobs := make(chan int)
 			var wg sync.WaitGroup
@@ -332,6 +331,20 @@ func BenchmarkEndToEndClassify(b *testing.B) {
 			close(jobs)
 			wg.Wait()
 		}
+	}
+	b.Run("parallel-embed", func(b *testing.B) {
+		parallel(b, enc.Compiled())
+	})
+	// The PR-6 tentpole row: the identical pipeline through the quantized
+	// compiled plan (per-channel int8 GEMMs, activations int8 between
+	// steps, dequant at the embedding boundary — see nn.CompileQuantized),
+	// calibrated on the first embedding batch of the workload.
+	b.Run("parallel-embed-int8", func(b *testing.B) {
+		quantized, err := enc.CompiledInt8(sample(0, embedBatchSize))
+		if err != nil {
+			b.Fatal(err)
+		}
+		parallel(b, quantized)
 	})
 }
 
@@ -361,6 +374,38 @@ func BenchmarkCompiledInfer(b *testing.B) {
 	})
 }
 
+// BenchmarkQuantizedInfer isolates the int8 lowering's win over the f32
+// compiled plan on the same batch-32 encoder call: per-channel int8
+// GEMMs with fused dequant/bias/ReLU/residual epilogues and int8
+// activations between plan steps, vs the f32 plan those steps were
+// derived from. Both rows are warm-plan, zero-alloc, and bitwise
+// deterministic across worker budgets. Archived in BENCH_pr6.json.
+func BenchmarkQuantizedInfer(b *testing.B) {
+	const d, img = 1536, 16
+	rng := rand.New(rand.NewSource(13))
+	enc := core.NewImageEncoder(rng, nn.MicroResNet50Config(8), d)
+	x := tensor.Randn(rng, 1, 32, 3, img, img)
+	b.Run("f32", func(b *testing.B) {
+		cn := enc.Compiled()
+		sc := nn.NewScratch()
+		for i := 0; i < b.N; i++ {
+			sc.Reset()
+			cn.Infer(x, sc)
+		}
+	})
+	b.Run("int8", func(b *testing.B) {
+		cq, err := enc.CompiledInt8(x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc := nn.NewScratch()
+		for i := 0; i < b.N; i++ {
+			sc.Reset()
+			cq.Infer(x, sc)
+		}
+	})
+}
+
 // BenchmarkGEMM sweeps the packed register-blocked GEMM (internal/tensor
 // pack.go) over square and pipeline-shaped products: the conv-shaped
 // sizes are the batched im2col products of the micro ResNet embedding
@@ -379,6 +424,40 @@ func BenchmarkGEMM(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				tensor.GemmInto(dst, x, y, tensor.GemmOpts{Buf: &buf})
+			}
+		})
+	}
+}
+
+// BenchmarkGemm8 sweeps the packed int8 GEMM (internal/tensor pack8.go)
+// over the same pipeline shapes as BenchmarkGEMM, with the quantized
+// epilogue fused (per-row dequant scale, ReLU, int8 requantize) exactly
+// as the compiled int8 plan runs it. The MB/s column reports int8 MAC/s
+// (2·m·k·n per op), directly comparable to BenchmarkGEMM's FLOP/s.
+func BenchmarkGemm8(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	for _, sh := range tensor.GemmBenchShapes {
+		b.Run(sh.Name, func(b *testing.B) {
+			w := make([]int8, sh.M*sh.K)
+			for i := range w {
+				w[i] = int8(rng.Intn(2*tensor.Gemm8WMax+1) - tensor.Gemm8WMax)
+			}
+			pw := tensor.PackB8(w, sh.M, sh.K)
+			x := make([]int8, sh.K*sh.N)
+			for i := range x {
+				x[i] = int8(rng.Intn(2*tensor.Gemm8AMax+1) - tensor.Gemm8AMax)
+			}
+			sc := make([]float32, sh.M)
+			for i := range sc {
+				sc[i] = 1 / float32(sh.K)
+			}
+			dst := make([]int8, sh.M*sh.N)
+			var buf tensor.GemmBuf
+			o := tensor.Gemm8Opts{RowScale: sc, ReLU: true, InvOutScale: 16, Buf: &buf}
+			b.SetBytes(int64(2 * sh.M * sh.K * sh.N))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.Gemm8QInto(dst, pw, x, sh.N, o)
 			}
 		})
 	}

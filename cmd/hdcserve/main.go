@@ -18,7 +18,12 @@
 // through the stateless nn Infer path, so POST /v1/embed-classify
 // accepts raw image tensors and classifies them against any backend —
 // no client-side embedding required. One shared frozen network serves
-// every in-flight request concurrently.
+// every in-flight request concurrently. With -precision both (the
+// default) the encoder is additionally served through its quantized
+// int8 compiled plan as "resnet-int8": same frozen weights, per-channel
+// symmetric int8 GEMMs, activations int8 between plan steps (see
+// nn.CompileQuantized) — the software twin of the paper's low-precision
+// deployment story.
 //
 // API:
 //
@@ -72,6 +77,7 @@ func main() {
 		embedder   = flag.Bool("embedder", true, "register the frozen ResNet image embedder for /v1/embed-classify")
 		embedImg   = flag.Int("embed-img", 16, "embedder input image size (pixels, square)")
 		embedWidth = flag.Int("embed-width", 8, "embedder ResNet base width")
+		precision  = flag.String("precision", "both", "embedder precision to serve: f32, int8, or both")
 	)
 	flag.Parse()
 
@@ -82,7 +88,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *embedder {
-		if err := registerEmbedder(reg, *dim, *seed, *embedImg, *embedWidth); err != nil {
+		if err := registerEmbedder(reg, *dim, *seed, *embedImg, *embedWidth, *precision); err != nil {
 			reg.Close()
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -184,18 +190,65 @@ func buildRegistry(classes, dim int, seed int64, workers int, backendList string
 // never trained and nothing ever calls its mutating Forward, so the
 // one compiled plan is shared read-only by every in-flight
 // /v1/embed-classify request.
-func registerEmbedder(reg *serve.Registry, dim int, seed int64, img, width int) error {
+//
+// precision selects which plans serve: "f32" registers "resnet" only,
+// "int8" registers "resnet-int8" only (the quantized plan of
+// nn.CompileQuantized, calibrated on a seed-deterministic synthetic
+// image batch at the serving geometry), and "both" serves the two side
+// by side from one registry so clients pick per request.
+func registerEmbedder(reg *serve.Registry, dim int, seed int64, img, width int, precision string) error {
 	if img < 8 || width < 1 {
 		return fmt.Errorf("bad embedder geometry: -embed-img %d -embed-width %d", img, width)
 	}
+	if precision != "f32" && precision != "int8" && precision != "both" {
+		return fmt.Errorf("unknown -precision %q (want f32, int8, or both)", precision)
+	}
 	rng := rand.New(rand.NewSource(seed + 0x5eed))
 	enc := core.NewImageEncoder(rng, nn.MicroResNet50Config(width), dim)
-	compiled := enc.Compiled()
-	// Build the plan for the serving geometry now, so the first request
-	// pays no compile latency and a lowering problem fails startup.
-	if err := compiled.Precompile(3, img, img); err != nil {
-		return err
+	if precision != "int8" {
+		compiled := enc.Compiled()
+		// Build the plan for the serving geometry now, so the first request
+		// pays no compile latency and a lowering problem fails startup.
+		if err := compiled.Precompile(3, img, img); err != nil {
+			return err
+		}
+		if err := reg.RegisterEmbedder("resnet",
+			serve.NewNetEmbedder("resnet", compiled, []int{3, img, img}, dim)); err != nil {
+			return err
+		}
 	}
-	return reg.RegisterEmbedder("resnet",
-		serve.NewNetEmbedder("resnet", compiled, []int{3, img, img}, dim))
+	if precision != "f32" {
+		quantized, err := enc.CompiledInt8(calibrationBatch(seed, img))
+		if err != nil {
+			return err
+		}
+		if err := reg.RegisterEmbedder("resnet-int8",
+			serve.NewNetEmbedder("resnet-int8", quantized, []int{3, img, img}, dim)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// calibrationBatch generates the representative image batch the int8
+// lowering calibrates activation scales on: one small seed-derived
+// SynthCUB at the serving geometry, so the scales see image-statistics
+// activations (not noise) and a given seed always quantizes to the same
+// plan.
+func calibrationBatch(seed int64, img int) *tensor.Tensor {
+	dcfg := dataset.DefaultConfig()
+	dcfg.NumClasses = 8
+	dcfg.ImagesPerClass = 4
+	dcfg.Height, dcfg.Width = img, img
+	dcfg.Seed = seed + 0xca11b
+	data := dataset.Generate(dcfg)
+	ids := make([]int, len(data.Instances))
+	classes := make([]int, dcfg.NumClasses)
+	for i := range ids {
+		ids[i] = i
+	}
+	for c := range classes {
+		classes[c] = c
+	}
+	return data.MakeBatch(ids, dataset.ClassIndexMap(classes), nil, nil).Images
 }

@@ -8,6 +8,10 @@
 // (internal/serve, cmd/hdcserve), and a frozen-graph inference compiler
 // (nn.CompiledNet — BatchNorm folding, fused GEMM epilogues, plan-level
 // buffer scheduling), which is the serving entry point for neural
-// embedders. See README.md for a tour and DESIGN.md for the system
-// inventory and substitution rationale.
+// embedders. The compiler also lowers frozen nets to calibrated int8
+// plans (nn.CompileQuantized — per-channel symmetric scales, packed
+// int8 GEMM with fused dequant/requant epilogues, int8 activations
+// between steps), served beside f32 via hdcserve -precision int8. See
+// README.md for a tour and DESIGN.md for the system inventory and
+// substitution rationale.
 package repro

@@ -113,11 +113,12 @@ func engineAccuracy(m *Model, d *dataset.SynthCUB, eng *infer.Engine,
 	}
 	// embed assembles and embeds batch bi on the caller's scratch through
 	// the compiled frozen-graph plan (BN folded, epilogues fused — see
-	// ImageEncoder.Compiled); the returned embedding lives in that
-	// scratch until its next Reset. The compiled path is bitwise
-	// deterministic across GOMAXPROCS, which keeps seeded accuracies
-	// byte-identical at any core count.
-	compiled := m.Image.Compiled()
+	// ImageEncoder.Compiled), or through the quantized int8 plan when one
+	// has been installed (ImageEncoder.CompiledInt8); the returned
+	// embedding lives in that scratch until its next Reset. Both plans
+	// are bitwise deterministic across GOMAXPROCS, which keeps seeded
+	// accuracies byte-identical at any core count.
+	compiled := m.Image.EvalNet()
 	embed := func(sc *nn.Scratch, bi int) (*tensor.Tensor, []int) {
 		at := bi * batchSize
 		end := minInt(at+batchSize, len(idx))

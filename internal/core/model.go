@@ -35,6 +35,11 @@ type ImageEncoder struct {
 
 	compileOnce sync.Once
 	compiled    *nn.CompiledNet
+
+	// quantMu guards the optional quantized plan installed by
+	// CompiledInt8.
+	quantMu  sync.Mutex
+	quantNet *nn.CompiledNet
 }
 
 // NewImageEncoder builds γ from a backbone config; projDim ≤ 0 omits the
@@ -99,6 +104,43 @@ func (e *ImageEncoder) CompileChain() []nn.Layer {
 func (e *ImageEncoder) Compiled() *nn.CompiledNet {
 	e.compileOnce.Do(func() { e.compiled = nn.MustCompile(e) })
 	return e.compiled
+}
+
+// CompiledInt8 builds (once) and returns the encoder's quantized
+// inference plan: the frozen graph of Compiled lowered to int8 GEMM
+// steps, with per-channel weight scales and activation scales
+// calibrated on calib (a representative image batch [B, 3, H, W] at the
+// serving geometry — see nn.CompileQuantized). The plan keeps
+// activations int8 between steps and dequantizes only at the embedding
+// boundary; inputs whose geometry differs from calib transparently run
+// the f32 plan of the same net. The first call's calibration batch
+// wins; later calls return the cached plan. Installing the plan also
+// switches EvalNet — and with it the evaluation readout — to int8.
+func (e *ImageEncoder) CompiledInt8(calib *tensor.Tensor) (*nn.CompiledNet, error) {
+	e.quantMu.Lock()
+	defer e.quantMu.Unlock()
+	if e.quantNet == nil {
+		q, err := nn.CompileQuantized(e, calib)
+		if err != nil {
+			return nil, err
+		}
+		e.quantNet = q
+	}
+	return e.quantNet, nil
+}
+
+// EvalNet returns the plan the evaluation readout embeds through: the
+// quantized plan when CompiledInt8 has installed one, else the f32
+// compiled plan. Both are safe for any number of concurrent Infer
+// callers and bitwise deterministic across worker budgets.
+func (e *ImageEncoder) EvalNet() *nn.CompiledNet {
+	e.quantMu.Lock()
+	q := e.quantNet
+	e.quantMu.Unlock()
+	if q != nil {
+		return q
+	}
+	return e.Compiled()
 }
 
 // Backward propagates the embedding gradient through the encoder.

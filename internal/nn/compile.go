@@ -70,15 +70,26 @@ type CompiledNet struct {
 	params []*Param
 	bns    []*BatchNorm2D
 
+	// calib, when non-nil, makes this a QUANTIZED compiler
+	// (CompileQuantized): plans for the calibration batch's geometry
+	// (qkey) are lowered to int8 GEMM steps with scales calibrated on
+	// this batch; other geometries fall back to f32 plans.
+	calib *tensor.Tensor
+	qkey  planKey
+
 	mu    sync.Mutex // serializes plan building; readers are lock-free
 	state atomic.Pointer[compiledState]
 }
 
 // compiledState pairs one fold generation's fingerprint with the plans
-// built from it. It is immutable: adding a plan publishes a copy.
+// built from it. It is immutable: adding a plan publishes a copy. q is
+// the quantized plan for the calibration geometry (CompileQuantized
+// nets only); it shares the fingerprint discipline, so an optimizer
+// step or checkpoint load recalibrates and requantizes transparently.
 type compiledState struct {
 	fp    []uint64
 	plans map[planKey]*plan
+	q     *qplan
 }
 
 // planKey identifies a plan by per-sample input geometry: (C, H, W) for
@@ -200,6 +211,16 @@ func (c *CompiledNet) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 	if st == nil || !c.fresh(st.fp) {
 		st = c.refold()
 	}
+	if c.calib != nil && key == c.qkey {
+		qp := st.q
+		if qp == nil {
+			var err error
+			if qp, err = c.addQPlan(); err != nil {
+				panic(err)
+			}
+		}
+		return qp.run(x, s)
+	}
 	pl := st.plans[key]
 	if pl == nil {
 		var err error
@@ -229,6 +250,13 @@ func (c *CompiledNet) Precompile(sampleShape ...int) error {
 	st := c.state.Load()
 	if st == nil || !c.fresh(st.fp) {
 		st = c.refold()
+	}
+	if c.calib != nil && key == c.qkey {
+		if st.q != nil {
+			return nil
+		}
+		_, err := c.addQPlan()
+		return err
 	}
 	if st.plans[key] != nil {
 		return nil
@@ -268,13 +296,38 @@ func (c *CompiledNet) addPlan(key planKey) (*plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	next := &compiledState{fp: cur.fp, plans: make(map[planKey]*plan, len(cur.plans)+1)}
+	next := &compiledState{fp: cur.fp, plans: make(map[planKey]*plan, len(cur.plans)+1), q: cur.q}
 	for k, v := range cur.plans {
 		next.plans[k] = v
 	}
 	next.plans[key] = pl
 	c.state.Store(next)
 	return pl, nil
+}
+
+// addQPlan builds the quantized plan for the calibration geometry and
+// publishes a state extended with it, mirroring addPlan.
+func (c *CompiledNet) addQPlan() (*qplan, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.state.Load()
+	if cur == nil || !c.fresh(cur.fp) {
+		cur = &compiledState{fp: c.fingerprint(), plans: map[planKey]*plan{}}
+	}
+	if cur.q != nil {
+		c.state.Store(cur)
+		return cur.q, nil
+	}
+	qp, err := buildQPlan(c.root, c.qkey, c.calib)
+	if err != nil {
+		return nil, err
+	}
+	next := &compiledState{fp: cur.fp, plans: make(map[planKey]*plan, len(cur.plans)), q: qp}
+	for k, v := range cur.plans {
+		next.plans[k] = v
+	}
+	c.state.Store(next)
+	return qp, nil
 }
 
 // --- Plan representation --------------------------------------------------
@@ -370,51 +423,218 @@ func (o *opConv) run(p *plan, slab, x []float32, n int, s *Scratch) {
 // workspace needs no pre-clearing. The values match Conv2D.im2colInto
 // exactly; only the column order differs with the CNHW batch layout.
 func (o *opConv) im2col(dst, x []float32, n int) {
-	h, w, oh, ow := o.ih, o.iw, o.oh, o.ow
+	im2colCNHW(dst, x, n, o.inC, o.kH, o.kW, o.stride, o.pad, o.ih, o.iw, o.oh, o.ow, o.inNCHW)
+}
+
+// im2colCNHW is the batched CNHW-output patch gather shared by the f32
+// (opConv) and int8 (opConv8) compiled convolutions — identical element
+// placement, so the quantized path's geometry is pinned by the f32
+// parity tests. Padded positions are written as the element type's zero
+// (the int8 plan's zero point: symmetric scales make q = 0 exact).
+func im2colCNHW[T float32 | int8](dst, x []T, n, inC, kH, kW, stride, pad, h, w, oh, ow int, inNCHW bool) {
 	rowStride := n * oh * ow
 	sampStride, chanStride := h*w, n*h*w
-	if o.inNCHW {
-		sampStride, chanStride = o.inC*h*w, h*w
+	if inNCHW {
+		sampStride, chanStride = inC*h*w, h*w
 	}
-	for ic := 0; ic < o.inC; ic++ {
-		for ky := 0; ky < o.kH; ky++ {
-			for kx := 0; kx < o.kW; kx++ {
-				base := ((ic*o.kH+ky)*o.kW + kx) * rowStride
-				for i := 0; i < n; i++ {
-					src := x[ic*chanStride+i*sampStride:]
-					drow := dst[base+i*oh*ow:]
-					for oy := 0; oy < oh; oy++ {
-						iy := oy*o.stride + ky - o.pad
-						d := drow[oy*ow : oy*ow+ow]
+	for ic := 0; ic < inC; ic++ {
+		for ky := 0; ky < kH; ky++ {
+			for kx := 0; kx < kW; kx++ {
+				base := ((ic*kH+ky)*kW + kx) * rowStride
+				if ky >= stride {
+					// Row-shift derivation: this tap reads source row
+					// iy = oy·stride+ky−pad = (oy+1)·stride+(ky−stride)−pad,
+					// i.e. exactly tap (ky−stride, kx) shifted up one
+					// output row — horizontal clears included. Bulk-copy
+					// the overlap from the already-gathered tap and
+					// gather only the final output row.
+					pbase := ((ic*kH+ky-stride)*kW + kx) * rowStride
+					lo, hi := 0, ow
+					if pad > kx {
+						lo = (pad - kx + stride - 1) / stride
+					}
+					if t := (w - 1 - kx + pad) / stride + 1; t < hi {
+						hi = t
+					}
+					if hi < lo {
+						hi = lo
+					}
+					ix0 := lo*stride + kx - pad
+					iy := (oh-1)*stride + ky - pad
+					if !inNCHW {
+						// Samples are contiguous within a tap row, so the
+						// overlap copy merges into ONE memmove across the
+						// batch. Each sample's final row picks up the next
+						// sample's first row, but the patch below rewrites
+						// every final row anyway.
+						copy(dst[base:base+n*oh*ow-ow], dst[pbase+ow:pbase+n*oh*ow])
+					}
+					for i := 0; i < n; i++ {
+						d := dst[base+i*oh*ow : base+i*oh*ow+oh*ow]
+						if inNCHW {
+							dprev := dst[pbase+i*oh*ow : pbase+i*oh*ow+oh*ow]
+							copy(d[:(oh-1)*ow], dprev[ow:])
+						}
+						row := d[(oh-1)*ow:]
 						if iy < 0 || iy >= h {
-							clear(d)
+							clear(row)
 							continue
 						}
-						srow := src[iy*w : iy*w+w]
-						if o.stride == 1 {
-							// Valid ox range: 0 ≤ ox+kx−pad < w.
-							lo := o.pad - kx
-							if lo < 0 {
-								lo = 0
-							}
-							hi := w - kx + o.pad
-							if hi > ow {
-								hi = ow
-							}
-							if hi < lo {
-								hi = lo
-							}
-							clear(d[:lo])
-							copy(d[lo:hi], srow[lo+kx-o.pad:])
-							clear(d[hi:])
+						srow := x[ic*chanStride+i*sampStride+iy*w:]
+						clear(row[:lo])
+						clear(row[hi:])
+						if stride == 1 {
+							copy(row[lo:hi], srow[ix0:])
 						} else {
-							for ox := 0; ox < ow; ox++ {
-								ix := ox*o.stride + kx - o.pad
-								if ix < 0 || ix >= w {
-									d[ox] = 0
-								} else {
-									d[ox] = srow[ix]
+							for ox, ix := lo, ix0; ox < hi; ox, ix = ox+1, ix+stride {
+								row[ox] = srow[ix]
+							}
+						}
+					}
+					continue
+				}
+				if kx >= stride && !(stride == 1 && ow == w) {
+					// Column-shift derivation: within a row this tap reads
+					// ix = ox·stride+kx−pad = (ox+1)·stride+(kx−stride)−pad,
+					// i.e. tap (ky, kx−stride) shifted left one output
+					// column. Bulk-copy (the one-element shift wraps row
+					// boundaries) and patch the final column of each row.
+					pbase := ((ic*kH+ky)*kW + kx - stride) * rowStride
+					ixLast := (ow-1)*stride + kx - pad
+					if !inNCHW {
+						// Merged one-element shift across the whole batch;
+						// the sample-boundary element lands in each final
+						// row's last column, which the patch below rewrites.
+						copy(dst[base:base+n*oh*ow-1], dst[pbase+1:pbase+n*oh*ow])
+					}
+					for i := 0; i < n; i++ {
+						d := dst[base+i*oh*ow : base+i*oh*ow+oh*ow]
+						if inNCHW {
+							dprev := dst[pbase+i*oh*ow : pbase+i*oh*ow+oh*ow]
+							copy(d[:oh*ow-1], dprev[1:])
+						}
+						if ixLast < 0 || ixLast >= w {
+							for oy := 0; oy < oh; oy++ {
+								d[oy*ow+ow-1] = 0
+							}
+							continue
+						}
+						src := x[ic*chanStride+i*sampStride:]
+						for oy, iy := 0, ky-pad; oy < oh; oy, iy = oy+1, iy+stride {
+							var v T
+							if iy >= 0 && iy < h {
+								v = src[iy*w+ixLast]
+							}
+							d[oy*ow+ow-1] = v
+						}
+					}
+					continue
+				}
+				if stride == 1 && ow == w {
+					// Same-width rows: the dst→src index delta is the
+					// constant dy·w+dx over the whole valid region, so
+					// each sample is ONE bulk copy plus cheap edge
+					// clears instead of oh tiny per-row copies — the
+					// per-call memmove overhead on 8–16 byte rows
+					// otherwise dominates the whole gather.
+					dy, dx := ky-pad, kx-pad
+					oyLo, oyHi := max(0, -dy), min(oh, h-dy)
+					lo, hi := max(0, -dx), min(w, w-dx)
+					merged := !inNCHW && oh == h && oyLo < oyHi
+					if merged {
+						// oh·ow == sampStride here, so the constant-delta
+						// copy extends across the whole batch in ONE
+						// memmove; the pad-row gaps it fills with the
+						// neighbouring sample's data are re-cleared in the
+						// per-sample pass below.
+						off := ic*chanStride + (oyLo+dy)*w + dx + lo
+						copy(dst[base+oyLo*w+lo:base+(n-1)*oh*ow+(oyHi-1)*w+hi], x[off:])
+					}
+					for i := 0; i < n; i++ {
+						d := dst[base+i*oh*ow : base+i*oh*ow+oh*ow]
+						clear(d[:oyLo*w])
+						clear(d[oyHi*w:])
+						if oyLo < oyHi {
+							if !merged {
+								src := x[ic*chanStride+i*sampStride:]
+								copy(d[oyLo*w+lo:(oyHi-1)*w+hi], src[(oyLo+dy)*w+dx+lo:])
+							}
+							if dx != 0 {
+								// Re-zero the horizontally padded
+								// columns the bulk copy wrapped across
+								// row boundaries.
+								for oy := oyLo; oy < oyHi; oy++ {
+									clear(d[oy*w : oy*w+lo])
+									clear(d[oy*w+hi : oy*w+w])
 								}
+							}
+						}
+					}
+					continue
+				}
+				// General stride: hoist the valid oy range
+				// (0 ≤ oy·stride+ky−pad < h) and ox range
+				// (0 ≤ ox·stride+kx−pad < w) to the tap level, bulk-
+				// clear the fully padded top/bottom rows, and strength-
+				// reduce the source index so the per-element strided
+				// gather runs branch- and multiply-free.
+				oyLo, oyHi := 0, oh
+				if pad > ky {
+					oyLo = (pad - ky + stride - 1) / stride
+				}
+				if t := (h - 1 - ky + pad) / stride + 1; t < oyHi {
+					oyHi = t
+				}
+				if oyHi < oyLo {
+					oyHi = oyLo
+				}
+				lo, hi := 0, ow
+				if pad > kx {
+					lo = (pad - kx + stride - 1) / stride
+				}
+				if t := (w - 1 - kx + pad) / stride + 1; t < hi {
+					hi = t
+				}
+				if hi < lo {
+					hi = lo
+				}
+				ix0 := lo*stride + kx - pad
+				srcRow0 := (oyLo*stride + ky - pad) * w
+				for i := 0; i < n; i++ {
+					src := x[ic*chanStride+i*sampStride:]
+					d := dst[base+i*oh*ow : base+i*oh*ow+oh*ow]
+					clear(d[:oyLo*ow])
+					clear(d[oyHi*ow:])
+					if stride == 2 && oyLo < oyHi && lo < hi {
+						// The downsampling taps' even-byte gather has a
+						// vector path for int8 (the pointer-based type
+						// assertion compiles to a static check and never
+						// allocates). Falls through to the scalar rows
+						// on f32, off amd64, or without source slack.
+						if d8, ok := any(&d).(*[]int8); ok {
+							s8 := *any(&src).(*[]int8)
+							if tensor.Gather8Stride2((*d8)[oyLo*ow+lo:], s8[srcRow0+ix0:], oyHi-oyLo, hi-lo, ow, 2*w) {
+								if lo > 0 || hi < ow {
+									for oy := oyLo; oy < oyHi; oy++ {
+										row := d[oy*ow : oy*ow+ow]
+										clear(row[:lo])
+										clear(row[hi:])
+									}
+								}
+								continue
+							}
+						}
+					}
+					for oy := oyLo; oy < oyHi; oy++ {
+						row := d[oy*ow : oy*ow+ow]
+						srow := src[(oy*stride+ky-pad)*w:]
+						clear(row[:lo])
+						clear(row[hi:])
+						if stride == 1 {
+							copy(row[lo:hi], srow[ix0:])
+						} else {
+							for ox, ix := lo, ix0; ox < hi; ox, ix = ox+1, ix+stride {
+								row[ox] = srow[ix]
 							}
 						}
 					}
@@ -427,9 +647,10 @@ func (o *opConv) im2col(dst, x []float32, n int) {
 // opLinear is a fully connected layer over the version-cached packed
 // weight panel, bias and optional ReLU fused into the epilogue.
 type opLinear struct {
-	pb          *tensor.PackedB
-	bias        []float32
-	relu        bool
+	pb   *tensor.PackedB
+	w    *tensor.Tensor // raw weights [in, out]; the quantized lowering reads them
+	bias []float32
+	relu bool
 	inID, outID int
 	in, out     int
 }
@@ -818,7 +1039,7 @@ func (lo *lowerer) lowerLinear(t *Linear) {
 		lo.fail("Linear expects %d inputs, graph carries %d", t.InDim(), lo.sh.d)
 		return
 	}
-	op := &opLinear{pb: t.packedW(), inID: lo.use(lo.cur), in: t.InDim(), out: t.out}
+	op := &opLinear{pb: t.packedW(), w: t.W.Value, inID: lo.use(lo.cur), in: t.InDim(), out: t.out}
 	if t.B != nil {
 		op.bias = t.B.Value.Data
 	}

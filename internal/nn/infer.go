@@ -70,6 +70,10 @@ func (s *Scratch) View(src *tensor.Tensor, shape ...int) *tensor.Tensor {
 // they read.
 func (s *Scratch) Grab(n int) []float32 { return s.arena.Grab(n) }
 
+// Grab8 returns an UNINITIALIZED int8 slice carved from the arena,
+// valid until Reset — the quantized compiled plan's activation slab.
+func (s *Scratch) Grab8(n int) []int8 { return s.arena.Grab8(n) }
+
 // Wrap returns an arena-backed tensor header over data (not copied).
 func (s *Scratch) Wrap(data []float32, shape ...int) *tensor.Tensor {
 	return s.arena.Wrap(data, shape...)
@@ -79,6 +83,13 @@ func (s *Scratch) Wrap(data []float32, shape ...int) *tensor.Tensor {
 // this scratch's packing workspace and worker budget.
 func (s *Scratch) GemmOpts() tensor.GemmOpts {
 	return tensor.GemmOpts{Workers: s.workers(), Buf: &s.gemm}
+}
+
+// Gemm8Opts returns the scratch-backed int8 GEMM options the quantized
+// compiled plan ops use: this scratch's packing workspace and worker
+// budget.
+func (s *Scratch) Gemm8Opts() tensor.Gemm8Opts {
+	return tensor.Gemm8Opts{Workers: s.workers(), Buf: &s.gemm}
 }
 
 // Reset reclaims every arena allocation at once, invalidating tensors

@@ -4,19 +4,74 @@
 // attribute codebooks, XOR/popcount or integer similarity — fits the
 // memory and arithmetic budget of an always-on accelerator [38].
 //
-// Quantization is symmetric per-tensor: q = round(w/s) clamped to
-// [−127, 127] with s = max|w|/127. The quantized matmul accumulates in
-// int32 and dequantizes once per output, the standard integer-inference
-// kernel.
+// Quantization is symmetric PER CHANNEL: each output channel ch gets
+// its own scale s_ch = max|w_ch|/qmax and q = round(w/s_ch) clamped to
+// [−qmax, qmax], so one outlier channel no longer wastes the integer
+// range of every other. The quantized matmul accumulates in int32 and
+// dequantizes once per output, the standard integer-inference kernel.
+//
+// QuantizeChannels is the one quantization core in the repository: the
+// standalone quant.Linear uses it at qmax = 127, and the compiled int8
+// inference plans (nn.CompileQuantized) use it at qmax =
+// tensor.Gemm8WMax, the reduced range the AVX2 VPMADDUBSW kernel needs
+// for saturation-free exact accumulation.
 package quant
 
 import (
 	"fmt"
 	"math"
 
-	"repro/internal/nn"
 	"repro/internal/tensor"
 )
+
+// QuantizeChannels quantizes w per channel with symmetric scales:
+// channel ch occupies the elements w[ch·chStride + j·elemStride] for
+// j in [0, count), and gets scales[ch] = max_j|w|/qmax (1 if the
+// channel is all zero) with q = round(w/scale) clamped to [−qmax,
+// qmax]. q and scales are written at the same strides/indices. This is
+// the shared quantization core of the standalone int8 projection
+// (per-column channels, qmax 127) and the compiled int8 plans
+// (per-row channels, qmax tensor.Gemm8WMax).
+func QuantizeChannels(q []int8, scales []float32, w []float32, channels, count, chStride, elemStride, qmax int) {
+	if qmax <= 0 || qmax > 127 {
+		panic(fmt.Sprintf("quant.QuantizeChannels: qmax %d outside (0, 127]", qmax))
+	}
+	for ch := 0; ch < channels; ch++ {
+		base := ch * chStride
+		var maxAbs float32
+		for j := 0; j < count; j++ {
+			v := w[base+j*elemStride]
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+		if maxAbs == 0 {
+			maxAbs = 1
+		}
+		s := maxAbs / float32(qmax)
+		scales[ch] = s
+		for j := 0; j < count; j++ {
+			r := math.Round(float64(w[base+j*elemStride] / s))
+			if r > float64(qmax) {
+				r = float64(qmax)
+			}
+			if r < -float64(qmax) {
+				r = -float64(qmax)
+			}
+			q[base+j*elemStride] = int8(r)
+		}
+	}
+}
+
+// QuantizeRows quantizes a row-major matrix with one symmetric scale
+// per row — the form the inference-graph compiler feeds folded conv
+// weight matrices [outC, K] and transposed projection weights through.
+func QuantizeRows(q []int8, scales []float32, w []float32, rows, cols, qmax int) {
+	QuantizeChannels(q, scales, w, rows, cols, cols, 1, qmax)
+}
 
 // Linear is an int8-quantized, inference-only fully connected layer.
 type Linear struct {
@@ -25,34 +80,25 @@ type Linear struct {
 	// Bias is kept in float32 (its storage is negligible and integer bias
 	// requires the input scale, which varies per batch).
 	Bias []float32
-	// Scale is the weight dequantization scale.
-	Scale float32
+	// Scales holds one weight dequantization scale per output channel
+	// (column of W).
+	Scales  []float32
 	in, out int
 }
 
-// QuantizeLinear converts a trained nn.Linear into its int8 twin.
-func QuantizeLinear(l *nn.Linear) *Linear {
-	w := l.W.Value
+// QuantizeLinear converts trained linear-layer weights w [in, out]
+// (plus an optional bias, copied) into the int8 twin with per-channel
+// symmetric scales.
+func QuantizeLinear(w *tensor.Tensor, bias []float32) *Linear {
+	if w.Rank() != 2 {
+		panic(fmt.Sprintf("quant.QuantizeLinear: want rank-2 weights, have %v", w.Shape()))
+	}
 	in, out := w.Dim(0), w.Dim(1)
-	mn, mx := w.MinMax()
-	maxAbs := float32(math.Max(math.Abs(float64(mn)), math.Abs(float64(mx))))
-	if maxAbs == 0 {
-		maxAbs = 1
-	}
-	scale := maxAbs / 127
-	q := &Linear{W: make([]int8, in*out), Scale: scale, in: in, out: out}
-	for i, v := range w.Data {
-		r := math.Round(float64(v / scale))
-		if r > 127 {
-			r = 127
-		}
-		if r < -127 {
-			r = -127
-		}
-		q.W[i] = int8(r)
-	}
-	if l.B != nil {
-		q.Bias = append([]float32(nil), l.B.Value.Data...)
+	q := &Linear{W: make([]int8, in*out), Scales: make([]float32, out), in: in, out: out}
+	// Output channel ch is column ch of the [in, out] matrix.
+	QuantizeChannels(q.W, q.Scales, w.Data, out, in, 1, out, 127)
+	if bias != nil {
+		q.Bias = append([]float32(nil), bias...)
 	}
 	return q
 }
@@ -89,14 +135,13 @@ func (q *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 			}
 			xq[i] = int8(rq)
 		}
-		deq := xs * q.Scale
 		or := out.Row(r)
 		for c := 0; c < q.out; c++ {
 			var acc int32
 			for i := 0; i < q.in; i++ {
 				acc += int32(xq[i]) * int32(q.W[i*q.out+c])
 			}
-			or[c] = float32(acc) * deq
+			or[c] = float32(acc) * (xs * q.Scales[c])
 			if q.Bias != nil {
 				or[c] += q.Bias[c]
 			}
@@ -106,17 +151,16 @@ func (q *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // Bytes returns the storage footprint of the quantized layer.
-func (q *Linear) Bytes() int { return len(q.W) + 4*len(q.Bias) + 4 }
+func (q *Linear) Bytes() int { return len(q.W) + 4*len(q.Bias) + 4*len(q.Scales) }
 
-// MaxAbsError returns the maximum elementwise output deviation between
-// the quantized layer and its float reference over the given inputs,
+// MaxAbsError returns the maximum elementwise deviation between the
+// quantized layer's output on x and the float reference output ref,
 // for accuracy-budget validation.
-func (q *Linear) MaxAbsError(ref *nn.Linear, x *tensor.Tensor) float32 {
+func (q *Linear) MaxAbsError(ref, x *tensor.Tensor) float32 {
 	a := q.Forward(x)
-	b := ref.Forward(x, false)
 	var worst float32
 	for i := range a.Data {
-		if d := float32(math.Abs(float64(a.Data[i] - b.Data[i]))); d > worst {
+		if d := float32(math.Abs(float64(a.Data[i] - ref.Data[i]))); d > worst {
 			worst = d
 		}
 	}

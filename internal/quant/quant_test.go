@@ -1,4 +1,4 @@
-package quant
+package quant_test
 
 import (
 	"math"
@@ -6,21 +6,30 @@ import (
 	"testing"
 
 	"repro/internal/nn"
+	"repro/internal/quant"
 	"repro/internal/tensor"
 )
+
+// quantize converts a trained nn.Linear through the package API.
+func quantize(l *nn.Linear) *quant.Linear {
+	var bias []float32
+	if l.B != nil {
+		bias = l.B.Value.Data
+	}
+	return quant.QuantizeLinear(l.W.Value, bias)
+}
 
 func TestQuantizedLinearTracksFloat(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	l := nn.NewLinear(rng, "fc", 64, 32, true)
-	q := QuantizeLinear(l)
+	q := quantize(l)
 	x := tensor.Randn(rng, 1, 8, 64)
 	ref := l.Forward(x, false)
 	got := q.Forward(x)
 	// Relative error budget: int8 symmetric quantization of weights and
 	// activations bounds per-output error well under 2 % of the output
 	// range for Gaussian data.
-	_, mx := ref.MinMax()
-	mn, _ := ref.MinMax()
+	mn, mx := ref.MinMax()
 	rangeRef := float64(mx - mn)
 	for i := range ref.Data {
 		if math.Abs(float64(got.Data[i]-ref.Data[i])) > 0.02*rangeRef {
@@ -32,7 +41,7 @@ func TestQuantizedLinearTracksFloat(t *testing.T) {
 func TestQuantizedStorageIsQuarter(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	l := nn.NewLinear(rng, "fc", 128, 96, false)
-	q := QuantizeLinear(l)
+	q := quantize(l)
 	floatBytes := 4 * 128 * 96
 	if q.Bytes() >= floatBytes/3 {
 		t.Fatalf("quantized layer %d B, float %d B — expected ≈4× smaller", q.Bytes(), floatBytes)
@@ -44,7 +53,7 @@ func TestQuantizedWeightsInRange(t *testing.T) {
 	l := nn.NewLinear(rng, "fc", 16, 16, false)
 	// Inject an outlier to exercise clamping.
 	l.W.Value.Data[0] = 100
-	q := QuantizeLinear(l)
+	q := quantize(l)
 	for _, w := range q.W {
 		if w < -127 || w > 127 {
 			t.Fatalf("weight %d outside int8 symmetric range", w)
@@ -55,10 +64,69 @@ func TestQuantizedWeightsInRange(t *testing.T) {
 	}
 }
 
+// TestQuantizedScalesArePerChannel pins the per-channel upgrade: an
+// outlier in one output channel must not coarsen any other channel's
+// scale — with per-tensor scales the small channel would quantize to a
+// handful of levels and drift.
+func TestQuantizedScalesArePerChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := nn.NewLinear(rng, "fc", 32, 4, false)
+	for i := 0; i < 32; i++ {
+		l.W.Value.Data[i*4+0] *= 100 // channel 0 dominates
+		l.W.Value.Data[i*4+1] *= 0.01
+	}
+	q := quantize(l)
+	if len(q.Scales) != 4 {
+		t.Fatalf("want 4 per-channel scales, have %d", len(q.Scales))
+	}
+	if q.Scales[0] <= q.Scales[1]*1000 {
+		t.Fatalf("channel scales did not separate: %v vs %v", q.Scales[0], q.Scales[1])
+	}
+	// The small channel keeps near-full integer resolution.
+	var maxQ int8
+	for i := 0; i < 32; i++ {
+		if w := q.W[i*4+1]; w > maxQ {
+			maxQ = w
+		}
+	}
+	if maxQ < 100 {
+		t.Fatalf("small channel uses only %d of 127 integer levels — scale not per-channel", maxQ)
+	}
+}
+
+// TestQuantizeRowsReducedRange pins the compiler-facing core at the
+// int8 kernel's reduced weight range.
+func TestQuantizeRowsReducedRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	w := tensor.Randn(rng, 1, 6, 40)
+	q := make([]int8, 6*40)
+	scales := make([]float32, 6)
+	quant.QuantizeRows(q, scales, w.Data, 6, 40, tensor.Gemm8WMax)
+	hit := false
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 40; c++ {
+			v := q[r*40+c]
+			if v > tensor.Gemm8WMax || v < -tensor.Gemm8WMax {
+				t.Fatalf("weight %d outside the kernel range ±%d", v, tensor.Gemm8WMax)
+			}
+			if v == tensor.Gemm8WMax || v == -tensor.Gemm8WMax {
+				hit = true
+			}
+			// Round-trip error bounded by half a step.
+			if d := math.Abs(float64(w.Data[r*40+c]) - float64(v)*float64(scales[r])); d > float64(scales[r])*0.5001 {
+				t.Fatalf("round-trip error %v exceeds half a quantization step %v", d, scales[r]/2)
+			}
+		}
+	}
+	if !hit {
+		t.Fatal("no row used its full range — scales are not tight per row")
+	}
+}
+
 func TestQuantizedZeroInputSafe(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	l := nn.NewLinear(rng, "fc", 8, 4, true)
-	q := QuantizeLinear(l)
+	q := quantize(l)
 	out := q.Forward(tensor.New(2, 8))
 	if out.HasNaN() {
 		t.Fatal("zero input produced NaN")
@@ -75,7 +143,7 @@ func TestQuantizedZeroInputSafe(t *testing.T) {
 
 func TestQuantizedForwardPanicsOnBadInput(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	q := QuantizeLinear(nn.NewLinear(rng, "fc", 8, 4, false))
+	q := quantize(nn.NewLinear(rng, "fc", 8, 4, false))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("bad input accepted")
@@ -89,7 +157,7 @@ func TestQuantizedForwardPanicsOnBadInput(t *testing.T) {
 func TestQuantizedProjectionPreservesRanking(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	proj := nn.NewLinear(rng, "proj", 96, 48, true)
-	q := QuantizeLinear(proj)
+	q := quantize(proj)
 	feats := tensor.Randn(rng, 1, 20, 96)
 	classes := tensor.Rademacher(rng, 10, 48)
 
@@ -106,7 +174,7 @@ func TestQuantizedProjectionPreservesRanking(t *testing.T) {
 	if agree < 19 {
 		t.Fatalf("quantization changed the predicted class for %d/20 queries", 20-agree)
 	}
-	if err := q.MaxAbsError(proj, feats); err > 0.5 {
+	if err := q.MaxAbsError(embF, feats); err > 0.5 {
 		t.Fatalf("max abs error %v too large", err)
 	}
 }

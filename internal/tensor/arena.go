@@ -17,6 +17,10 @@ type Arena struct {
 	off   int         // bump offset into the active slab
 	total int         // total capacity across all slabs
 
+	slabs8 [][]int8 // int8 slabs (quantized compiled plans)
+	off8   int
+	total8 int
+
 	hdrs   []*Tensor // reusable tensor headers, recycled on Reset
 	hdrOff int
 	dims   []int // shape storage, recycled on Reset
@@ -119,6 +123,25 @@ func (a *Arena) AllocLike(ref *Tensor) *Tensor {
 // Callers must not read elements they have not written.
 func (a *Arena) Grab(n int) []float32 { return a.allocRaw(n) }
 
+// Grab8 is Grab for int8 storage: an UNINITIALIZED slice of n int8s
+// carved from the arena's int8 slabs, valid until the next Reset. The
+// quantized compiled plan reserves its activation slab this way.
+func (a *Arena) Grab8(n int) []int8 {
+	if len(a.slabs8) == 0 || n > len(a.slabs8[len(a.slabs8)-1])-a.off8 {
+		size := arenaMinSlab
+		if n > size {
+			size = n
+		}
+		a.slabs8 = append(a.slabs8, make([]int8, size))
+		a.total8 += size
+		a.off8 = 0
+	}
+	slab := a.slabs8[len(a.slabs8)-1]
+	out := slab[a.off8 : a.off8+n : a.off8+n]
+	a.off8 += n
+	return out
+}
+
 // Wrap returns an arena-backed tensor header over data (not copied)
 // with the given shape; the element count must match. This is how the
 // compiled plan hands out its slab regions as tensors without heap
@@ -157,7 +180,11 @@ func (a *Arena) Reset() {
 	if len(a.slabs) > 1 {
 		a.slabs = [][]float32{make([]float32, a.total)}
 	}
+	if len(a.slabs8) > 1 {
+		a.slabs8 = [][]int8{make([]int8, a.total8)}
+	}
 	a.off = 0
+	a.off8 = 0
 	a.hdrOff = 0
 	a.dimOff = 0
 }

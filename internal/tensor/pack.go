@@ -66,6 +66,7 @@ const (
 // for concurrent use — one per goroutine (nn.Scratch embeds one).
 type GemmBuf struct {
 	a, b []float32
+	b8   []uint8 // int8-GEMM activation panels (gemm8)
 }
 
 // grow ensures capacity for an A pack of an floats and a B pack of bn
@@ -78,6 +79,14 @@ func (g *GemmBuf) grow(an, bn int) (ap, bp []float32) {
 		g.b = make([]float32, bn)
 	}
 	return g.a[:an], g.b[:bn]
+}
+
+// grow8 ensures capacity for n bytes of int8-GEMM activation panels.
+func (g *GemmBuf) grow8(n int) []uint8 {
+	if cap(g.b8) < n {
+		g.b8 = make([]uint8, n)
+	}
+	return g.b8[:n]
 }
 
 // gemmBufPool serves callers that don't thread their own workspace

@@ -1,0 +1,137 @@
+//go:build amd64
+
+package tensor
+
+// gemm8Kernel4x16 computes one full 4×16 int8 micro-tile into the int32
+// tile buffer: tile[r·16+c] = Σ_quads Σ_t ap[quad][r][t]·bp[quad][c][t],
+// with ap signed int8 weights (PackB8 layout) and bp unsigned biased
+// activations (pack8BPanel layout). Implemented in pack8_amd64.s with
+// VPMADDUBSW + VPMADDWD; requires AVX2. The reduced weight range
+// (|w| ≤ Gemm8WMax) guarantees the s16 pair sums never saturate, so the
+// result is exact integer arithmetic, bitwise identical to
+// gemm8KernelGeneric.
+//
+//go:noescape
+func gemm8Kernel4x16(tile *int32, ap *int8, bp *uint8, kq int)
+
+// gemm8Kernel dispatches one int8 micro-tile to the assembly kernel
+// when the CPU supports it, else to the portable Go kernel. Both paths
+// produce bitwise-identical tiles (exact integer arithmetic), so unlike
+// the f32 kernels even cross-kernel comparisons are exact.
+func gemm8Kernel(tile *[gemm8MR * gemm8NR]int32, ap []int8, bp []uint8, kq int) {
+	if haveGemmAsm {
+		gemm8Kernel4x16(&tile[0], &ap[0], &bp[0], kq)
+		return
+	}
+	gemm8KernelGeneric(tile, ap, bp, kq)
+}
+
+// pack8Quads16 transposes and biases `quads` full k-quads of a
+// full-width activation panel (see pack8_amd64.s). Bitwise identical to
+// the scalar packing loop.
+//
+//go:noescape
+func pack8Quads16(dst *uint8, x *int8, n, quads int)
+
+// pack8PanelQuads packs the leading full k-quads of a full-width panel
+// with the vector transpose and reports how many quads it covered; the
+// caller packs the remainder (k tail, narrow panels, non-AVX2 hosts)
+// with the scalar loop.
+func pack8PanelQuads(dst []uint8, x []int8, k, kQ, n, j0 int) int {
+	if !haveGemmAsm {
+		return 0
+	}
+	qf := k / gemm8KQ
+	if qf > kQ {
+		qf = kQ
+	}
+	if qf > 0 {
+		pack8Quads16(&dst[0], &x[j0], n, qf)
+	}
+	return qf
+}
+
+//go:noescape
+func gather8Stride2(dst *int8, src *int8, rows, cols, dstStride, srcStride int)
+
+// Gather8Stride2 writes dst[r·dstStride+c] = src[r·srcStride+2c] with
+// the vector gather when available, reporting whether it ran; callers
+// keep a scalar loop for the false case. The 16-byte block loads read
+// one byte past the final gathered element, so the dispatch requires
+// that byte of slack in src.
+func Gather8Stride2(dst, src []int8, rows, cols, dstStride, srcStride int) bool {
+	if !haveGemmAsm || rows == 0 || cols == 0 {
+		return false
+	}
+	if (rows-1)*srcStride+2*cols > len(src) {
+		return false
+	}
+	gather8Stride2(&dst[0], &src[0], rows, cols, dstStride, srcStride)
+	return true
+}
+
+//go:noescape
+func quant8Slice16(dst *int8, src *float32, blocks int, inv float32)
+
+// quant8SliceVec requantizes the leading 16-element blocks with the
+// vector tail of the int8 epilogue and returns how many elements it
+// covered; the caller finishes the remainder with scalar Quant8RNE.
+func quant8SliceVec(dst []int8, src []float32, inv float32) int {
+	if !haveGemmAsm || len(dst) < 16 {
+		return 0
+	}
+	blocks := len(dst) / 16
+	quant8Slice16(&dst[0], &src[0], blocks, inv)
+	return blocks * 16
+}
+
+// gemm8EpTile16F runs the vector epilogue over the full-width rows of
+// one computed tile, storing float32. Bitwise identical to the Go
+// epilogue on finite inputs: the dequant multiply and bias add stay
+// separate (no FMA contraction) and every conversion rounds to nearest
+// even.
+//
+//go:noescape
+func gemm8EpTile16F(dst *float32, tile *int32, rowOff *int32, sc *float32, bias *float32, acc *int8, accScale float32, relu int32, mr, n int)
+
+// gemm8EpTile16Q is the int8-output twin: each epilogue value is
+// requantized with invOut and stored as int8, matching Quant8RNE on
+// every finite input.
+//
+//go:noescape
+func gemm8EpTile16Q(dst *int8, tile *int32, rowOff *int32, sc *float32, bias *float32, acc *int8, accScale float32, relu int32, mr, n int, invOut float32)
+
+// gemm8EpilogueRows dequantizes and stores one computed full-width tile
+// with a single vector-epilogue call that walks the tile's rows in
+// assembly. It declines (returns false) without AVX2, sending the
+// caller to the portable per-element epilogue; the profile is dominated
+// by that path otherwise — the scalar epilogue costs ~3× the integer
+// kernel itself.
+func gemm8EpilogueRows(tile *[gemm8MR * gemm8NR]int32, dst32 []float32, dst8 []int8, pw *PackedB8, o Gemm8Opts, i0, j0, mr, n int) bool {
+	if !haveGemmAsm {
+		return false
+	}
+	relu := int32(0)
+	if o.ReLU {
+		relu = 1
+	}
+	base := i0*n + j0
+	var sc *float32
+	if o.RowScale != nil {
+		sc = &o.RowScale[i0]
+	}
+	var bias *float32
+	if o.Bias != nil {
+		bias = &o.Bias[i0]
+	}
+	var acc *int8
+	if o.Accum != nil {
+		acc = &o.Accum[base]
+	}
+	if dst32 != nil {
+		gemm8EpTile16F(&dst32[base], &tile[0], &pw.rowOff[i0], sc, bias, acc, o.AccScale, relu, mr, n)
+	} else {
+		gemm8EpTile16Q(&dst8[base], &tile[0], &pw.rowOff[i0], sc, bias, acc, o.AccScale, relu, mr, n, o.InvOutScale)
+	}
+	return true
+}

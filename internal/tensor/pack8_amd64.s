@@ -1,0 +1,421 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func gemm8Kernel4x16(tile *int32, ap *int8, bp *uint8, kq int)
+//
+// One full 4×16 int8 micro-tile: 8 YMM int32 accumulators (4 rows × two
+// 8-column vectors). Per k-quad (4 adjacent k values) the kernel loads
+// two 32-byte activation vectors — 16 columns × 4 unsigned bytes each —
+// and for each weight row broadcasts its 4 signed bytes (VPBROADCASTD),
+// then reduces with VPMADDUBSW (u8×s8 → s16 pair sums; the |w| ≤ 63
+// weight range keeps these exact) and VPMADDWD against the all-ones
+// word vector (s16 pairs → one s32 per column). The full k extent runs
+// in registers: integer addition is exact, so no k-slicing is needed
+// and the tile is stored exactly once.
+TEXT ·gemm8Kernel4x16(SB), NOSPLIT, $0-32
+	MOVQ tile+0(FP), DI
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), BX
+	MOVQ kq+24(FP), CX
+
+	// Y7 = sixteen int16(1) lanes for the VPMADDWD pair reduction.
+	VPCMPEQW Y7, Y7, Y7
+	VPSRLW   $15, Y7, Y7
+
+	VPXOR Y8, Y8, Y8
+	VPXOR Y9, Y9, Y9
+	VPXOR Y10, Y10, Y10
+	VPXOR Y11, Y11, Y11
+	VPXOR Y12, Y12, Y12
+	VPXOR Y13, Y13, Y13
+	VPXOR Y14, Y14, Y14
+	VPXOR Y15, Y15, Y15
+
+qloop:
+	VMOVDQU (BX), Y0             // columns 0..7, 4 u8 k-values each
+	VMOVDQU 32(BX), Y1           // columns 8..15
+
+	VPBROADCASTD (SI), Y2        // weight row 0 quad
+	VPMADDUBSW   Y2, Y0, Y3      // u8(acts)×s8(weights) pair sums
+	VPMADDWD     Y7, Y3, Y3      // s16 pairs → s32 per column
+	VPADDD       Y3, Y8, Y8
+	VPMADDUBSW   Y2, Y1, Y4
+	VPMADDWD     Y7, Y4, Y4
+	VPADDD       Y4, Y9, Y9
+
+	VPBROADCASTD 4(SI), Y2       // weight row 1 quad
+	VPMADDUBSW   Y2, Y0, Y3
+	VPMADDWD     Y7, Y3, Y3
+	VPADDD       Y3, Y10, Y10
+	VPMADDUBSW   Y2, Y1, Y4
+	VPMADDWD     Y7, Y4, Y4
+	VPADDD       Y4, Y11, Y11
+
+	VPBROADCASTD 8(SI), Y2       // weight row 2 quad
+	VPMADDUBSW   Y2, Y0, Y3
+	VPMADDWD     Y7, Y3, Y3
+	VPADDD       Y3, Y12, Y12
+	VPMADDUBSW   Y2, Y1, Y4
+	VPMADDWD     Y7, Y4, Y4
+	VPADDD       Y4, Y13, Y13
+
+	VPBROADCASTD 12(SI), Y2      // weight row 3 quad
+	VPMADDUBSW   Y2, Y0, Y3
+	VPMADDWD     Y7, Y3, Y3
+	VPADDD       Y3, Y14, Y14
+	VPMADDUBSW   Y2, Y1, Y4
+	VPMADDWD     Y7, Y4, Y4
+	VPADDD       Y4, Y15, Y15
+
+	ADDQ $64, BX                 // 16 columns × 4 bytes
+	ADDQ $16, SI                 // 4 rows × 4 bytes
+	DECQ CX
+	JNZ  qloop
+
+	VMOVDQU Y8, (DI)
+	VMOVDQU Y9, 32(DI)
+	VMOVDQU Y10, 64(DI)
+	VMOVDQU Y11, 96(DI)
+	VMOVDQU Y12, 128(DI)
+	VMOVDQU Y13, 160(DI)
+	VMOVDQU Y14, 192(DI)
+	VMOVDQU Y15, 224(DI)
+	VZEROUPPER
+	RET
+
+// func pack8Quads16(dst *uint8, x *int8, n, quads int)
+//
+// Packs `quads` consecutive full k-quads of one full-width (16-column)
+// activation panel: per quad, four source rows of 16 contiguous int8
+// values (row stride n) are transposed to column-major quads — exactly
+// three levels of byte/word interleaves — and biased to unsigned, which
+// for +128 is a XOR with 0x80. Output is 64 contiguous bytes per quad,
+// matching pack8BPanel's scalar layout bit for bit.
+TEXT ·pack8Quads16(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), BX
+	MOVQ quads+24(FP), CX
+
+	LEAQ (BX)(BX*2), R9          // R9 = 3n
+
+	// X7 = 0x80 in every byte: all-ones → VPABSB → 0x01 → <<7 → 0x80.
+	VPCMPEQB X7, X7, X7
+	VPABSB   X7, X7
+	VPSLLW   $7, X7, X7
+
+ploop:
+	VMOVDQU (SI), X0             // k row 0
+	VMOVDQU (SI)(BX*1), X1       // k row 1
+	VMOVDQU (SI)(BX*2), X2       // k row 2
+	VMOVDQU (SI)(R9*1), X3       // k row 3
+
+	VPUNPCKLBW X1, X0, X4        // r0[c],r1[c] byte pairs, cols 0..7
+	VPUNPCKHBW X1, X0, X5        // cols 8..15
+	VPUNPCKLBW X3, X2, X6        // r2[c],r3[c] byte pairs, cols 0..7
+	VPUNPCKHBW X3, X2, X1        // cols 8..15
+
+	VPUNPCKLWD X6, X4, X0        // cols 0..3 quads
+	VPUNPCKHWD X6, X4, X2        // cols 4..7
+	VPUNPCKLWD X1, X5, X3        // cols 8..11
+	VPUNPCKHWD X1, X5, X4        // cols 12..15
+
+	VPXOR X7, X0, X0             // signed → biased unsigned (+128)
+	VPXOR X7, X2, X2
+	VPXOR X7, X3, X3
+	VPXOR X7, X4, X4
+
+	VMOVDQU X0, (DI)
+	VMOVDQU X2, 16(DI)
+	VMOVDQU X3, 32(DI)
+	VMOVDQU X4, 48(DI)
+
+	ADDQ $64, DI
+	LEAQ (SI)(BX*4), SI          // next quad: 4 k rows down
+	DECQ CX
+	JNZ  ploop
+	RET
+
+// Float clamp bounds of the int8 requantization (±Gemm8AMax). Clamping
+// in the float domain BEFORE VCVTPS2DQ keeps overflowing values off the
+// converter's integer-indefinite result and lands on the same int8 the
+// Go epilogue's round-then-clamp produces (the two orders agree on every
+// finite input: both saturate to ±127 beyond ±127.5, and inside the
+// range the clamp is a no-op).
+DATA q8max<>+0(SB)/4, $0x42fe0000 // 127.0
+GLOBL q8max<>(SB), RODATA, $4
+DATA q8min<>+0(SB)/4, $0xc2fe0000 // -127.0
+GLOBL q8min<>(SB), RODATA, $4
+DATA one32<>+0(SB)/4, $0x3f800000 // 1.0, the nil-RowScale identity
+GLOBL one32<>(SB), RODATA, $4
+
+// func gemm8EpTile16F(dst *float32, tile *int32, rowOff *int32, sc *float32, bias *float32, acc *int8, accScale float32, relu int32, mr, n int)
+//
+// Vector epilogue over the full-width rows of one computed tile:
+// dst[r][c] = relu(sc[r]·(tile[r][c]−rowOff[r]) + bias[r] + accScale·acc[r][c])
+// for r < mr, c < 16, with dst/acc advancing by the logical row stride
+// n and sc/bias optional (nil → 1 / 0). The operation order and
+// rounding match the portable Go epilogue exactly — subtract the +128
+// row correction, convert (RNE), multiply, add (separate VMULPS/VADDPS,
+// never FMA), add the scaled int8 residual, then max(v, 0) with +0 as
+// the MAXPS second source so −0 and NaN normalize exactly like the Go
+// branch.
+TEXT ·gemm8EpTile16F(SB), NOSPLIT, $0-72
+	MOVQ dst+0(FP), DI
+	MOVQ tile+8(FP), SI
+	MOVQ rowOff+16(FP), R8
+	MOVQ sc+24(FP), R9
+	MOVQ bias+32(FP), R10
+	MOVQ acc+40(FP), DX
+	MOVL relu+52(FP), AX
+	MOVQ mr+56(FP), CX
+	MOVQ n+64(FP), BX
+
+	VBROADCASTSS accScale+48(FP), Y10
+	VBROADCASTSS one32<>(SB), Y14
+	VPXOR        Y15, Y15, Y15
+
+frow:
+	VMOVDQU      (SI), Y0            // tile row, cols 0..7
+	VMOVDQU      32(SI), Y1          // cols 8..15
+	VPBROADCASTD (R8), Y2            // +128 row correction
+	VPSUBD       Y2, Y0, Y0
+	VPSUBD       Y2, Y1, Y1
+	VCVTDQ2PS    Y0, Y0
+	VCVTDQ2PS    Y1, Y1
+
+	VMOVAPS Y14, Y2                  // row scale (1 when nil)
+	TESTQ   R9, R9
+	JZ      fscale
+	VBROADCASTSS (R9), Y2
+	ADDQ         $4, R9
+
+fscale:
+	VMULPS Y2, Y0, Y0
+	VMULPS Y2, Y1, Y1
+
+	TESTQ R10, R10                   // bias (skip when nil)
+	JZ    fnobias
+	VBROADCASTSS (R10), Y2
+	ADDQ         $4, R10
+	VADDPS       Y2, Y0, Y0
+	VADDPS       Y2, Y1, Y1
+
+fnobias:
+	TESTQ DX, DX                     // int8 residual (skip when nil)
+	JZ    fnoacc
+	VPMOVSXBD (DX), Y3
+	VCVTDQ2PS Y3, Y3
+	VMULPS    Y10, Y3, Y3
+	VADDPS    Y3, Y0, Y0
+	VPMOVSXBD 8(DX), Y3
+	VCVTDQ2PS Y3, Y3
+	VMULPS    Y10, Y3, Y3
+	VADDPS    Y3, Y1, Y1
+	LEAQ      (DX)(BX*1), DX
+
+fnoacc:
+	TESTL AX, AX
+	JZ    fnorelu
+	VMAXPS Y15, Y0, Y0
+	VMAXPS Y15, Y1, Y1
+
+fnorelu:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	LEAQ    (DI)(BX*4), DI
+	ADDQ    $64, SI
+	ADDQ    $4, R8
+	DECQ    CX
+	JNZ     frow
+	VZEROUPPER
+	RET
+
+// func gemm8EpTile16Q(dst *int8, tile *int32, rowOff *int32, sc *float32, bias *float32, acc *int8, accScale float32, relu int32, mr, n int, invOut float32)
+//
+// The int8-output twin of gemm8EpTile16F: the epilogue value is scaled
+// by invOut, clamped to ±127 in the float domain (keeping overflow off
+// VCVTPS2DQ's integer-indefinite result; round-then-clamp and
+// clamp-then-round agree on every finite input), converted with
+// VCVTPS2DQ (round to nearest even — exactly Quant8RNE) and packed
+// 16 int32 → 16 int8. PACKSSDW works per 128-bit lane, so a VPERMQ
+// restores column order before the word→byte pack; the float clamp
+// keeps every value in ±127, so the packs' saturation never fires.
+TEXT ·gemm8EpTile16Q(SB), NOSPLIT, $0-76
+	MOVQ dst+0(FP), DI
+	MOVQ tile+8(FP), SI
+	MOVQ rowOff+16(FP), R8
+	MOVQ sc+24(FP), R9
+	MOVQ bias+32(FP), R10
+	MOVQ acc+40(FP), DX
+	MOVL relu+52(FP), AX
+	MOVQ mr+56(FP), CX
+	MOVQ n+64(FP), BX
+
+	VBROADCASTSS accScale+48(FP), Y10
+	VBROADCASTSS invOut+72(FP), Y11
+	VBROADCASTSS q8max<>(SB), Y12
+	VBROADCASTSS q8min<>(SB), Y13
+	VBROADCASTSS one32<>(SB), Y14
+	VPXOR        Y15, Y15, Y15
+
+qrow:
+	VMOVDQU      (SI), Y0            // tile row, cols 0..7
+	VMOVDQU      32(SI), Y1          // cols 8..15
+	VPBROADCASTD (R8), Y2            // +128 row correction
+	VPSUBD       Y2, Y0, Y0
+	VPSUBD       Y2, Y1, Y1
+	VCVTDQ2PS    Y0, Y0
+	VCVTDQ2PS    Y1, Y1
+
+	VMOVAPS Y14, Y2                  // row scale (1 when nil)
+	TESTQ   R9, R9
+	JZ      qscale
+	VBROADCASTSS (R9), Y2
+	ADDQ         $4, R9
+
+qscale:
+	VMULPS Y2, Y0, Y0
+	VMULPS Y2, Y1, Y1
+
+	TESTQ R10, R10                   // bias (skip when nil)
+	JZ    qnobias
+	VBROADCASTSS (R10), Y2
+	ADDQ         $4, R10
+	VADDPS       Y2, Y0, Y0
+	VADDPS       Y2, Y1, Y1
+
+qnobias:
+	TESTQ DX, DX                     // int8 residual (skip when nil)
+	JZ    qnoacc
+	VPMOVSXBD (DX), Y3
+	VCVTDQ2PS Y3, Y3
+	VMULPS    Y10, Y3, Y3
+	VADDPS    Y3, Y0, Y0
+	VPMOVSXBD 8(DX), Y3
+	VCVTDQ2PS Y3, Y3
+	VMULPS    Y10, Y3, Y3
+	VADDPS    Y3, Y1, Y1
+	LEAQ      (DX)(BX*1), DX
+
+qnoacc:
+	TESTL AX, AX
+	JZ    qnorelu
+	VMAXPS Y15, Y0, Y0
+	VMAXPS Y15, Y1, Y1
+
+qnorelu:
+	VMULPS       Y11, Y0, Y0         // requantize to the output scale
+	VMULPS       Y11, Y1, Y1
+	VMINPS       Y12, Y0, Y0
+	VMINPS       Y12, Y1, Y1
+	VMAXPS       Y13, Y0, Y0
+	VMAXPS       Y13, Y1, Y1
+	VCVTPS2DQ    Y0, Y0
+	VCVTPS2DQ    Y1, Y1
+	VPACKSSDW    Y1, Y0, Y0
+	VPERMQ       $0xd8, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPACKSSWB    X1, X0, X0
+	VMOVDQU      X0, (DI)
+	LEAQ         (DI)(BX*1), DI
+	ADDQ         $64, SI
+	ADDQ         $4, R8
+	DECQ         CX
+	JNZ          qrow
+	VZEROUPPER
+	RET
+
+// func gather8Stride2(dst *int8, src *int8, rows, cols, dstStride, srcStride int)
+//
+// dst[r·dstStride + c] = src[r·srcStride + 2c] for r < rows, c < cols:
+// the stride-2 horizontal patch gather of the quantized convolutions.
+// Eight columns at a time: 16 source bytes, mask the odd bytes with the
+// 0x00FF word mask, pack words to bytes (values ≤ 255, saturation never
+// fires), store 8. The 16-byte load reads one byte past the last
+// gathered element, so the Go wrapper only dispatches here when the
+// source slice has that byte of slack.
+TEXT ·gather8Stride2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ rows+16(FP), CX
+	MOVQ cols+24(FP), BX
+	MOVQ dstStride+32(FP), R11
+	MOVQ srcStride+40(FP), R8
+
+	VPCMPEQW X7, X7, X7          // X7 = 0x00FF word mask
+	VPSRLW   $8, X7, X7
+
+grow:
+	MOVQ BX, DX                  // columns left in this row
+	MOVQ SI, R9                  // source cursor
+	MOVQ DI, R10                 // destination cursor
+
+gcol8:
+	CMPQ DX, $8
+	JL   gcol1
+	VMOVDQU   (R9), X0           // 16 source bytes → 8 even bytes
+	VPAND     X7, X0, X0
+	VPACKUSWB X0, X0, X0
+	MOVQ      X0, (R10)
+	ADDQ      $16, R9
+	ADDQ      $8, R10
+	SUBQ      $8, DX
+	JMP       gcol8
+
+gcol1:
+	TESTQ DX, DX
+	JZ    grdone
+	MOVB (R9), AX
+	MOVB AX, (R10)
+	ADDQ $2, R9
+	INCQ R10
+	DECQ DX
+	JMP  gcol1
+
+grdone:
+	ADDQ R8, SI
+	ADDQ R11, DI
+	DECQ CX
+	JNZ  grow
+	RET
+
+// func quant8Slice16(dst *int8, src *float32, blocks int, inv float32)
+//
+// dst[i] = Quant8RNE(src[i]·inv) over blocks×16 elements: multiply,
+// clamp to ±127 in the float domain, VCVTPS2DQ (round to nearest even)
+// and pack 16 int32 → 16 int8 — the same requantization tail as the
+// int8 GEMM epilogue, bitwise identical to the scalar Quant8RNE loop on
+// finite inputs.
+TEXT ·quant8Slice16(SB), NOSPLIT, $0-28
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ blocks+16(FP), CX
+
+	VBROADCASTSS inv+24(FP), Y11
+	VBROADCASTSS q8max<>(SB), Y12
+	VBROADCASTSS q8min<>(SB), Y13
+
+qsloop:
+	VMOVUPS      (SI), Y0
+	VMOVUPS      32(SI), Y1
+	VMULPS       Y11, Y0, Y0
+	VMULPS       Y11, Y1, Y1
+	VMINPS       Y12, Y0, Y0
+	VMINPS       Y12, Y1, Y1
+	VMAXPS       Y13, Y0, Y0
+	VMAXPS       Y13, Y1, Y1
+	VCVTPS2DQ    Y0, Y0
+	VCVTPS2DQ    Y1, Y1
+	VPACKSSDW    Y1, Y0, Y0
+	VPERMQ       $0xd8, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPACKSSWB    X1, X0, X0
+	VMOVDQU      X0, (DI)
+	ADDQ         $64, SI
+	ADDQ         $16, DI
+	DECQ         CX
+	JNZ          qsloop
+	VZEROUPPER
+	RET

@@ -1,0 +1,34 @@
+//go:build !amd64
+
+package tensor
+
+// gemm8Kernel runs the portable int8 micro-kernel on non-amd64 targets.
+// The arithmetic is exact integer math, so results match the amd64
+// assembly kernel bitwise.
+func gemm8Kernel(tile *[gemm8MR * gemm8NR]int32, ap []int8, bp []uint8, kq int) {
+	gemm8KernelGeneric(tile, ap, bp, kq)
+}
+
+// pack8PanelQuads has no vector implementation off amd64; the scalar
+// packing loop covers the whole panel.
+func pack8PanelQuads(dst []uint8, x []int8, k, kQ, n, j0 int) int {
+	return 0
+}
+
+// quant8SliceVec has no vector implementation off amd64; Quant8Slice
+// runs its scalar loop over the whole slice.
+func quant8SliceVec(dst []int8, src []float32, inv float32) int {
+	return 0
+}
+
+// Gather8Stride2 has no vector implementation off amd64; callers run
+// their scalar gather loop.
+func Gather8Stride2(dst, src []int8, rows, cols, dstStride, srcStride int) bool {
+	return false
+}
+
+// gemm8EpilogueRows has no vector implementation off amd64; callers
+// fall through to the portable per-element epilogue.
+func gemm8EpilogueRows(tile *[gemm8MR * gemm8NR]int32, dst32 []float32, dst8 []int8, pw *PackedB8, o Gemm8Opts, i0, j0, mr, n int) bool {
+	return false
+}

@@ -3,7 +3,7 @@
 # machine-readable JSON (via cmd/benchjson), so the perf trajectory is
 # tracked PR over PR.
 #
-#   ./scripts/bench.sh                          # default pattern → BENCH_pr5.json
+#   ./scripts/bench.sh                          # default pattern → BENCH_pr6.json
 #   ./scripts/bench.sh 'EndToEndClassify' out.json
 #   BENCHTIME=5x ./scripts/bench.sh             # more iterations
 #   BASELINE=BENCH_pr4.json ./scripts/bench.sh  # + per-benchmark delta table,
@@ -11,8 +11,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-pattern="${1:-EndToEndClassify|CompiledInfer|GEMM$|EngineBatchedQuery|EngineBatch32RawQuery|ServeCoalesced|ItemMemoryPerProbeScan|EngineFloatBackend}"
-out="${2:-BENCH_pr5.json}"
+pattern="${1:-EndToEndClassify|CompiledInfer|QuantizedInfer|GEMM$|Gemm8$|EngineBatchedQuery|EngineBatch32RawQuery|ServeCoalesced|ItemMemoryPerProbeScan|EngineFloatBackend}"
+out="${2:-BENCH_pr6.json}"
 
 # Capture the bench run in a temp file first so a mid-run failure fails
 # the script (a plain pipe would discard go test's exit status).
