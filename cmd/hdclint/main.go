@@ -1,0 +1,158 @@
+// Command hdclint statically enforces the repository's hot-path
+// contracts: zero allocation on //hdc:hotpath functions, bitwise
+// determinism in the kernel packages, Param version-bump pairing for
+// every value write, and asm/portable pairing for every assembly
+// kernel. See internal/analysis for the analyzer suite.
+//
+// Two modes share the analyzers:
+//
+//	hdclint ./...                      # standalone: loads via `go list -export`
+//	go vet -vettool=$(which hdclint) ./...  # vet driver: unitchecker .cfg protocol
+//
+// Exit status is non-zero when any diagnostic survives the //hdc:allow
+// suppression pass, so both CI and local runs are blocking.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	// cmd/go probes its vet tool with -V=full to fingerprint it; the
+	// reply must be a single stable line.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Println("hdclint version 1")
+		return
+	}
+	// cmd/go also probes with -flags for the tool's flag definitions;
+	// hdclint takes none, so the reply is an empty JSON list.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetTool(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdclint:", err)
+		return 2
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg, analysis.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hdclint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "hdclint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the JSON configuration cmd/go writes for -vettool
+// tools (the x/tools unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdclint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hdclint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// cmd/go requires the facts file to exist after every run, even
+	// for tools that exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("hdclint"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "hdclint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: nothing to analyze, no facts to record
+	}
+	var ignored, other []string
+	for _, f := range cfg.IgnoredFiles {
+		switch filepath.Ext(f) {
+		case ".go":
+			ignored = append(ignored, f)
+		case ".s":
+			other = append(other, f)
+		}
+	}
+	for _, f := range cfg.NonGoFiles {
+		if filepath.Ext(f) == ".s" {
+			other = append(other, f)
+		}
+	}
+	exports := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, err := analysis.CheckFilesLookup(cfg.ImportPath, cfg.GoFiles, ignored, other, exports)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "hdclint:", err)
+		return 1
+	}
+	diags, err := analysis.RunPackage(pkg, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdclint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

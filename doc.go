@@ -11,7 +11,14 @@
 // embedders. The compiler also lowers frozen nets to calibrated int8
 // plans (nn.CompileQuantized — per-channel symmetric scales, packed
 // int8 GEMM with fused dequant/requant epilogues, int8 activations
-// between steps), served beside f32 via hdcserve -precision int8. See
-// README.md for a tour and DESIGN.md for the system inventory and
-// substitution rationale.
+// between steps), served beside f32 via hdcserve -precision int8.
+//
+// The serving path's performance contracts are enforced statically by
+// the in-tree analyzer suite in internal/analysis (driven by
+// cmd/hdclint, standalone or via go vet -vettool): //hdc:hotpath marks
+// allocation-free functions, //hdc:coldpath marks deliberate slow
+// branches, //hdc:allow <analyzer> <reason> suppresses a finding with a
+// mandatory justification. See README.md ("Correctness tooling") for
+// the contract list, README.md for a tour, and DESIGN.md for the
+// system inventory and substitution rationale.
 package repro

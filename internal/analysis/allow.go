@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowLintName is the pseudo-analyzer that lints the suppression
+// comments themselves: a //hdc:allow must name a known analyzer, must
+// carry a reason, and must actually suppress something.
+const AllowLintName = "allowlint"
+
+// An //hdc:allow comment suppresses diagnostics of one analyzer on the
+// line it sits on, or — when it is a whole-line comment — on the line
+// directly below it:
+//
+//	merged = append(merged, ...) //hdc:allow hotpathalloc merged is pre-capped scratch
+//
+//	//hdc:allow determinism copy into a fresh map; order-independent
+//	for k, v := range cur.plans {
+//
+// The reason (everything after the analyzer name) is mandatory: a
+// suppression without a recorded justification is itself a finding.
+type allowEntry struct {
+	pos      token.Pos
+	analyzer string
+	reason   string
+	used     bool
+}
+
+const allowPrefix = "//hdc:allow"
+
+// collectAllows scans every file (including build-tag-ignored ones, so
+// suppressions in portable twins are still linted) for allow comments.
+// The map is keyed by file name, then by the line number the entry
+// suppresses.
+func collectAllows(fset *token.FileSet, files []*ast.File) map[string]map[int][]*allowEntry {
+	out := map[string]map[int][]*allowEntry{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				e := &allowEntry{pos: c.Pos()}
+				if len(fields) > 0 {
+					e.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					e.reason = strings.Join(fields[1:], " ")
+				}
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				if !codeBeforeOnLine(fset, f, c) {
+					// Whole-line comment: it suppresses the next line.
+					line++
+				}
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*allowEntry{}
+					out[pos.Filename] = byLine
+				}
+				byLine[line] = append(byLine[line], e)
+			}
+		}
+	}
+	return out
+}
+
+// codeBeforeOnLine reports whether any non-comment syntax ends on the
+// comment's line before the comment starts — i.e. whether c is a
+// trailing comment rather than a whole-line one.
+func codeBeforeOnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		end := fset.Position(n.End())
+		if end.Line == pos.Line && end.Column <= pos.Column {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// applyAllows filters diags through the package's //hdc:allow comments
+// and appends allowlint findings for malformed, unknown, or unused
+// suppressions.
+func applyAllows(pkg *Package, diags []Diagnostic) []Diagnostic {
+	all := append(append([]*ast.File{}, pkg.Syntax...), pkg.IgnoredFiles...)
+	allows := collectAllows(pkg.Fset, all)
+	known := ByName()
+
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		suppressed := false
+		for _, e := range allows[pos.Filename][pos.Line] {
+			if e.analyzer == d.Analyzer && e.reason != "" {
+				e.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+
+	for _, byLine := range allows {
+		for _, entries := range byLine {
+			for _, e := range entries {
+				switch {
+				case e.analyzer == "":
+					kept = append(kept, Diagnostic{Pos: e.pos, Analyzer: AllowLintName,
+						Message: "malformed suppression: want //hdc:allow <analyzer> <reason>"})
+				case !known[e.analyzer]:
+					kept = append(kept, Diagnostic{Pos: e.pos, Analyzer: AllowLintName,
+						Message: fmt.Sprintf("suppression names unknown analyzer %q", e.analyzer)})
+				case e.reason == "":
+					kept = append(kept, Diagnostic{Pos: e.pos, Analyzer: AllowLintName,
+						Message: "suppression for " + e.analyzer + " must carry a reason"})
+				case !e.used:
+					kept = append(kept, Diagnostic{Pos: e.pos, Analyzer: AllowLintName,
+						Message: "suppression for " + e.analyzer + " suppresses nothing; remove it"})
+				}
+			}
+		}
+	}
+	return kept
+}

@@ -1,0 +1,142 @@
+// Package analysis is a self-contained static-analysis suite that
+// enforces the repository's hot-path contracts at compile time: the
+// zero-allocation discipline of the serving path, the bitwise-
+// determinism rules of the kernel packages, the Param version-bump
+// invalidation contract behind every derived-weight cache, and the
+// asm/portable pairing convention of the assembly kernels.
+//
+// The framework deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) but is
+// built entirely on the standard library (go/ast, go/types,
+// go/importer), so the module keeps its zero-dependency property. The
+// cmd/hdclint binary drives the suite either standalone (loading
+// packages via `go list -export`) or as a `go vet -vettool`
+// replacement speaking vet's unitchecker .cfg protocol.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single package through
+// its Pass and reports findings via pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //hdc:allow suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the contract enforced.
+	Doc string
+	// Run executes the analyzer on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's type-checked Go files under the current
+	// build configuration.
+	Files []*ast.File
+	// IgnoredFiles are Go files of the same directory excluded by
+	// build constraints (e.g. the portable !amd64 twins when analyzing
+	// on amd64). They are parsed but NOT type-checked; analyzers that
+	// reason across build configurations (asmpair) inspect them
+	// syntactically.
+	IgnoredFiles []*ast.File
+	// OtherFiles are the package's non-Go files (assembly sources).
+	OtherFiles []string
+	Pkg        *types.Package
+	Info       *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced
+// it so //hdc:allow suppressions can be matched by name.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset         *token.FileSet
+	Syntax       []*ast.File
+	IgnoredFiles []*ast.File
+	OtherFiles   []string
+	Types        *types.Package
+	Info         *types.Info
+}
+
+// All returns the full suite in a stable order. AllowLint is not in
+// the list: it runs implicitly inside RunPackage, where suppression
+// bookkeeping lives.
+func All() []*Analyzer {
+	return []*Analyzer{HotPathAlloc, Determinism, VersionKeyed, AsmPair}
+}
+
+// ByName resolves analyzer names (for suppression validation). The
+// pseudo-analyzer "allowlint" is always known.
+func ByName() map[string]bool {
+	m := map[string]bool{AllowLintName: true}
+	for _, a := range All() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// RunPackage runs the given analyzers over one package, applies the
+// //hdc:allow suppression pass, appends allowlint findings (malformed,
+// unknown-analyzer, and unused suppressions), and returns the surviving
+// diagnostics sorted by position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:     a,
+			Fset:         pkg.Fset,
+			Files:        pkg.Syntax,
+			IgnoredFiles: pkg.IgnoredFiles,
+			OtherFiles:   pkg.OtherFiles,
+			Pkg:          pkg.Types,
+			Info:         pkg.Info,
+			report:       func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = applyAllows(pkg, diags)
+	// The hot-path contracts bind library code only: tests fuzz with the
+	// global rand source and write Param fixtures directly by design, and
+	// the vet driver hands us test variants of every package.
+	kept := diags[:0]
+	for _, d := range diags {
+		if !strings.HasSuffix(pkg.Fset.Position(d.Pos).Filename, "_test.go") {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

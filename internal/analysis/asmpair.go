@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// AsmPair enforces the assembly/portable pairing convention of the
+// kernel packages: amd64 assembly is an accelerator, never the only
+// implementation. Concretely:
+//
+//   - every `TEXT ·name` in an *_amd64.s file must have a body-less Go
+//     declaration in a file visible under the amd64 && !noasm build
+//     configuration;
+//   - every body-less (assembly-backed) Go declaration must have a
+//     matching TEXT symbol — no dangling prototypes;
+//   - every *_amd64.s file must carry the `//go:build amd64 && !noasm`
+//     escape hatch, so `-tags noasm` really falls back to pure Go;
+//   - every package-level name referenced from build-tag-free code but
+//     declared only under one configuration (amd64&&!noasm, or its
+//     portable complement) must have a same-name declaration in the
+//     other — with an identical signature when both are functions.
+//     This is the static form of the cross-compile CI matrix: a new
+//     kernel cannot silently lack its portable fallback.
+//
+// The analyzer is syntactic across build configurations: files
+// excluded by the current tags (Pass.IgnoredFiles) are matched by
+// parsed declarations, since they cannot be type-checked together with
+// the live configuration.
+var AsmPair = &Analyzer{
+	Name: "asmpair",
+	Doc:  "require a Go prototype and a same-signature portable fallback for every amd64 assembly kernel",
+	Run:  runAsmPair,
+}
+
+var textSymRE = regexp.MustCompile(`(?m)^TEXT\s+·([A-Za-z0-9_]+)`)
+
+// buildCfg is one evaluated build configuration.
+type buildCfg struct {
+	arch  string
+	noasm bool
+}
+
+var knownArches = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true, "loong64": true,
+	"mips": true, "mipsle": true, "mips64": true, "mips64le": true,
+	"ppc64": true, "ppc64le": true, "riscv64": true, "s390x": true, "wasm": true,
+}
+
+// evalTag evaluates one build tag under cfg: architecture tags match
+// cfg.arch, "noasm" matches cfg.noasm, toolchain/version tags are
+// true, anything else (OS tags, custom tags) is treated as true so an
+// `//go:build linux && amd64` file still classifies by architecture.
+func (c buildCfg) evalTag(tag string) bool {
+	if knownArches[tag] {
+		return tag == c.arch
+	}
+	if tag == "noasm" {
+		return c.noasm
+	}
+	return true
+}
+
+// fileConstraint extracts the //go:build expression (nil when absent).
+func fileConstraint(f *ast.File) constraint.Expr {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				if expr, err := constraint.Parse(c.Text); err == nil {
+					return expr
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// impliedArch returns the architecture a filename's _GOARCH suffix
+// implies, or "".
+func impliedArch(name string) string {
+	base := strings.TrimSuffix(filepath.Base(name), filepath.Ext(name))
+	base = strings.TrimSuffix(base, "_test")
+	for arch := range knownArches {
+		if strings.HasSuffix(base, "_"+arch) {
+			return arch
+		}
+	}
+	return ""
+}
+
+// visibleUnder reports whether a file with the given constraint and
+// name compiles under cfg.
+func visibleUnder(expr constraint.Expr, name string, cfg buildCfg) bool {
+	if a := impliedArch(name); a != "" && a != cfg.arch {
+		return false
+	}
+	if expr == nil {
+		return true
+	}
+	return expr.Eval(cfg.evalTag)
+}
+
+var (
+	asmCfg       = buildCfg{arch: "amd64", noasm: false}
+	portCfgNoasm = buildCfg{arch: "amd64", noasm: true}
+	portCfgArch  = buildCfg{arch: "arm64", noasm: false}
+)
+
+// fileClass is a file's visibility across the two configurations that
+// matter: the accelerated build and the portable fallback build.
+type fileClass struct {
+	asmVis  bool // compiles under amd64 && !noasm
+	portVis bool // compiles under noasm or a non-amd64 architecture
+}
+
+func classify(expr constraint.Expr, name string) fileClass {
+	return fileClass{
+		asmVis:  visibleUnder(expr, name, asmCfg),
+		portVis: visibleUnder(expr, name, portCfgNoasm) || visibleUnder(expr, name, portCfgArch),
+	}
+}
+
+// asmDecl is one package-level declaration gathered syntactically.
+type asmDecl struct {
+	class    fileClass
+	isFunc   bool
+	bodyless bool
+	sig      string
+	pos      token.Pos
+}
+
+func runAsmPair(pass *Pass) error {
+	// 1. Gather TEXT symbols from amd64 assembly files.
+	type asmSym struct {
+		pos  token.Pos
+		file string
+	}
+	asmSyms := map[string]asmSym{}
+	for _, path := range pass.OtherFiles {
+		if !strings.HasSuffix(path, ".s") {
+			continue
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("asmpair: %w", err)
+		}
+		// The pairing contract covers amd64 assembly: the suffix
+		// convention or a build constraint selecting amd64.
+		var expr constraint.Expr
+		for _, line := range strings.Split(string(src), "\n") {
+			if l := strings.TrimSpace(line); constraint.IsGoBuild(l) {
+				if e, err := constraint.Parse(l); err == nil {
+					expr = e
+				}
+				break
+			}
+		}
+		isAmd := impliedArch(path) == "amd64" ||
+			(expr != nil && expr.Eval(asmCfg.evalTag) && !expr.Eval(portCfgArch.evalTag))
+		if !isAmd {
+			continue
+		}
+		tf := pass.Fset.AddFile(path, -1, len(src))
+		tf.SetLinesForContent(src)
+		hasNoasmGate := expr != nil && !expr.Eval(portCfgNoasm.evalTag)
+		for _, m := range textSymRE.FindAllSubmatchIndex(src, -1) {
+			name := string(src[m[2]:m[3]])
+			asmSyms[name] = asmSym{pos: tf.Pos(m[0]), file: path}
+			if !hasNoasmGate {
+				pass.Reportf(tf.Pos(m[0]), "assembly file %s lacks the `//go:build amd64 && !noasm` gate: -tags noasm cannot select the portable fallback", filepath.Base(path))
+				hasNoasmGate = true // one report per file is enough
+			}
+		}
+	}
+
+	// 2. Gather package-level declarations across every configuration.
+	decls := map[string][]asmDecl{}
+	classOfFile := map[string]fileClass{}
+	gather := func(f *ast.File) {
+		name := pass.Fset.Position(f.Pos()).Filename
+		cls := classify(fileConstraint(f), name)
+		classOfFile[name] = cls
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil {
+					continue // methods pair through their receiver type
+				}
+				decls[d.Name.Name] = append(decls[d.Name.Name], asmDecl{
+					class: cls, isFunc: true, bodyless: d.Body == nil,
+					sig: funcSig(d.Type), pos: d.Name.Pos(),
+				})
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.ValueSpec:
+						for _, id := range s.Names {
+							decls[id.Name] = append(decls[id.Name], asmDecl{class: cls, pos: id.Pos()})
+						}
+					case *ast.TypeSpec:
+						decls[s.Name.Name] = append(decls[s.Name.Name], asmDecl{class: cls, pos: s.Name.Pos()})
+					}
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		gather(f)
+	}
+	for _, f := range pass.IgnoredFiles {
+		gather(f)
+	}
+
+	// 3. TEXT symbols need a body-less Go prototype visible in the
+	// accelerated configuration; prototypes need their TEXT.
+	for name, sym := range asmSyms {
+		found := false
+		for _, d := range decls[name] {
+			if d.isFunc && d.bodyless && d.class.asmVis {
+				found = true
+			}
+		}
+		if !found {
+			pass.Reportf(sym.pos, "TEXT ·%s has no body-less Go declaration in an amd64 && !noasm file", name)
+		}
+	}
+	for name, ds := range decls {
+		for _, d := range ds {
+			if d.isFunc && d.bodyless && d.class.asmVis {
+				if _, ok := asmSyms[name]; !ok {
+					pass.Reportf(d.pos, "assembly-backed declaration %s has no TEXT ·%s in any *_amd64.s file", name, name)
+				}
+			}
+		}
+	}
+
+	// 4. Names referenced from tag-free code must exist in both
+	// configurations with matching function signatures: the portable
+	// fallback cannot silently be missing.
+	reported := map[string]bool{}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		cls := classOfFile[name]
+		if !cls.asmVis || !cls.portVis {
+			continue // only tag-free files compile in both configurations
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || obj.Pkg() != pass.Pkg || obj.Parent() != pass.Pkg.Scope() {
+				return true
+			}
+			if _, isType := obj.(*types.TypeName); !isType {
+				if _, isFn := obj.(*types.Func); !isFn {
+					if _, isVar := obj.(*types.Var); !isVar {
+						if _, isConst := obj.(*types.Const); !isConst {
+							return true
+						}
+					}
+				}
+			}
+			checkPairing(pass, decls, obj.Name(), id.Pos(), reported)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPairing verifies name is declared under both configurations and
+// that paired function signatures agree.
+func checkPairing(pass *Pass, decls map[string][]asmDecl, name string, use token.Pos, reported map[string]bool) {
+	if reported[name] {
+		return
+	}
+	ds := decls[name]
+	if len(ds) == 0 {
+		return
+	}
+	var asmD, portD *asmDecl
+	for i := range ds {
+		if ds[i].class.asmVis && asmD == nil {
+			asmD = &ds[i]
+		}
+		if ds[i].class.portVis && portD == nil {
+			portD = &ds[i]
+		}
+	}
+	switch {
+	case asmD == nil && portD != nil:
+		reported[name] = true
+		pass.Reportf(portD.pos, "%s is referenced from build-tag-free code but has no declaration under amd64 && !noasm", name)
+	case portD == nil && asmD != nil:
+		reported[name] = true
+		pass.Reportf(asmD.pos, "%s is referenced from build-tag-free code but has no portable declaration (noasm / non-amd64): add the pure-Go fallback", name)
+	case asmD != nil && portD != nil && asmD != portD && asmD.isFunc && portD.isFunc && asmD.sig != portD.sig:
+		reported[name] = true
+		pass.Reportf(portD.pos, "portable %s has signature %s but the amd64 declaration has %s: fallback must be call-compatible", name, portD.sig, asmD.sig)
+	}
+}
+
+// funcSig renders a normalized signature string from syntax (the
+// portable twin is not type-checked, so the comparison is textual).
+func funcSig(ft *ast.FuncType) string {
+	var b strings.Builder
+	b.WriteString("func(")
+	writeFields(&b, ft.Params)
+	b.WriteString(")")
+	if ft.Results != nil && len(ft.Results.List) > 0 {
+		b.WriteString(" (")
+		writeFields(&b, ft.Results)
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func writeFields(b *strings.Builder, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	first := true
+	for _, f := range fl.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			b.WriteString(types.ExprString(f.Type))
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Determinism enforces the bitwise-determinism contract of the kernel
+// packages: the same inputs must produce byte-identical outputs on any
+// GOMAXPROCS, worker budget, and run. In scope packages it flags:
+//
+//   - range over a map (iteration order is randomized per run)
+//   - calls to math/rand package-level functions (the global source;
+//     the repo convention is an explicit *rand.Rand everywhere)
+//   - time.Now / time.Since / time.Until outside stats code (wall
+//     clock reads make results run-dependent; files whose name
+//     contains "stats" are exempt)
+//   - go statements whose closure combines results order-dependently:
+//     an append to, or plain assignment of, a variable captured from
+//     the enclosing function. The blessed pattern is an
+//     index-addressed write (out[i] = ...) so each goroutine owns a
+//     disjoint slot regardless of scheduling.
+//
+// A package is in scope when its import path ends in one of the
+// hot-path kernel packages (tensor, nn, infer, quant) or any of its
+// files carries a //hdc:deterministic comment.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag nondeterministic constructs (map ranges, global rand, wall clock, racy goroutine merges) in kernel packages",
+	Run:  runDeterminism,
+}
+
+// DeterministicPkgPattern selects the packages the determinism
+// analyzer covers by import path.
+var DeterministicPkgPattern = regexp.MustCompile(`(^|/)(tensor|nn|infer|quant)$`)
+
+// deterministicMarker opts any package into the determinism analyzer,
+// wherever it lives.
+const deterministicMarker = "//hdc:deterministic"
+
+func runDeterminism(pass *Pass) error {
+	if !determinismInScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		statsFile := strings.Contains(filepath.Base(pass.Fset.Position(f.Pos()).Filename), "stats")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "range over map: iteration order is randomized; iterate a sorted key slice (or //hdc:allow with the reason the fold is order-independent)")
+					}
+				}
+			case *ast.CallExpr:
+				checkDeterminismCall(pass, n, statsFile)
+			case *ast.GoStmt:
+				checkGoMerge(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func determinismInScope(pass *Pass) bool {
+	if DeterministicPkgPattern.MatchString(pass.Pkg.Path()) {
+		return true
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text == deterministicMarker {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func checkDeterminismCall(pass *Pass, n *ast.CallExpr, statsFile bool) {
+	sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	// Only package-level calls: methods on an explicit *rand.Rand are
+	// the blessed seeded path.
+	if id, ok := sel.X.(*ast.Ident); !ok {
+		return
+	} else if _, isPkg := pass.Info.Uses[id].(*types.PkgName); !isPkg {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(n.Pos(), "math/rand global source: results differ per run; thread an explicit *rand.Rand")
+	case "time":
+		switch obj.Name() {
+		case "Now", "Since", "Until":
+			if !statsFile {
+				pass.Reportf(n.Pos(), "wall-clock read (time.%s) in a deterministic kernel package; keep timing in stats code", obj.Name())
+			}
+		}
+	}
+}
+
+// checkGoMerge flags order-dependent result combination inside a go
+// statement's function literal: appends to, or whole-variable
+// assignments of, variables captured from the enclosing scope.
+func checkGoMerge(pass *Pass, g *ast.GoStmt) {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	capturedVar := func(e ast.Expr) *types.Var {
+		root := e
+		for {
+			switch r := root.(type) {
+			case *ast.SelectorExpr:
+				root = r.X
+				continue
+			}
+			break
+		}
+		id, ok := root.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return nil
+		}
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return nil // declared inside the goroutine
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return nil // package-level: a different contract (and a race)
+		}
+		return v
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			switch l := ast.Unparen(lhs).(type) {
+			case *ast.IndexExpr, *ast.StarExpr:
+				// Index-addressed (out[i] = ...) or through an explicit
+				// pointer: each goroutine owns its slot; deterministic.
+			case *ast.Ident, *ast.SelectorExpr:
+				v := capturedVar(l.(ast.Expr))
+				if v == nil {
+					continue
+				}
+				// append to a captured slice is the classic racy,
+				// order-dependent merge; so is any plain reassignment.
+				if i < len(as.Rhs) {
+					if call, ok := as.Rhs[i].(*ast.CallExpr); ok && calleeName(pass.Info, call) == "append" {
+						pass.Reportf(as.Pos(), "goroutine appends to captured %q: combination order depends on scheduling; write index-addressed slots instead", v.Name())
+						continue
+					}
+				}
+				pass.Reportf(as.Pos(), "goroutine assigns captured %q: last-writer-wins depends on scheduling; write index-addressed slots instead", v.Name())
+			}
+		}
+		return true
+	})
+}

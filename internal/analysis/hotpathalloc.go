@@ -1,0 +1,389 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc enforces the zero-allocation contract of the serving
+// path. Functions annotated //hdc:hotpath (in their doc comment) and
+// every function in the same package statically reachable from them
+// are checked for allocation-inducing constructs:
+//
+//   - make / new
+//   - slice and map composite literals, and &T{...} literals
+//   - append (the backing array may grow; pre-sized scratch appends
+//     need a reasoned //hdc:allow)
+//   - closures that capture variables (the closure context allocates)
+//   - implicit interface conversions that box a non-pointer value
+//   - calls into package fmt
+//   - string([]byte) / string([]rune) / string(rune|int) conversions
+//
+// Constructs inside the arguments of a panic(...) call are exempt: a
+// panicking hot path has already left the steady state. Functions
+// annotated //hdc:coldpath stop the reachability propagation — they
+// are the deliberately-slow branches (plan rebuilds, cache growth)
+// that hot code may call on its cold edges; the annotation is a
+// reviewed statement that the warm path never reaches them.
+//
+// The runtime twin of this analyzer is the AllocsPerRun guard suite
+// (TestCompiledInferZeroAlloc and friends); the analyzer catches the
+// whole construct class on every shape, not just the exercised ones.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flag allocation-inducing constructs in //hdc:hotpath functions and their intra-package callees",
+	Run:  runHotPathAlloc,
+}
+
+const (
+	hotpathMarker  = "//hdc:hotpath"
+	coldpathMarker = "//hdc:coldpath"
+)
+
+// hasMarker reports whether a doc comment contains the given marker as
+// a line prefix (trailing prose after the marker is permitted).
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	// Map every package-level function/method object to its declaration.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	cold := map[*types.Func]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = fd
+			if hasMarker(fd.Doc, hotpathMarker) {
+				roots = append(roots, obj)
+			}
+			if hasMarker(fd.Doc, coldpathMarker) {
+				cold[obj] = true
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Static intra-package call graph over direct calls.
+	callees := map[*types.Func][]*types.Func{}
+	for obj, fd := range decls {
+		seen := map[*types.Func]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			default:
+				return true
+			}
+			callee, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, hasDecl := decls[callee]; hasDecl && !seen[callee] {
+				seen[callee] = true
+				callees[obj] = append(callees[obj], callee)
+			}
+			return true
+		})
+	}
+
+	// Propagate hotness from the roots, stopping at //hdc:coldpath.
+	// root[f] records the nearest annotated root for the diagnostic.
+	hotVia := map[*types.Func]*types.Func{}
+	var visit func(f, root *types.Func)
+	visit = func(f, root *types.Func) {
+		if cold[f] {
+			return
+		}
+		if _, done := hotVia[f]; done {
+			return
+		}
+		hotVia[f] = root
+		for _, c := range callees[f] {
+			visit(c, root)
+		}
+	}
+	for _, r := range roots {
+		visit(r, r)
+	}
+
+	for obj, root := range hotVia {
+		fd := decls[obj]
+		via := ""
+		if root != obj {
+			via = " (hot via " + root.Name() + ")"
+		}
+		checkAllocs(pass, fd, obj.Name()+via)
+	}
+	return nil
+}
+
+// checkAllocs walks one hot function body reporting allocation-inducing
+// constructs, skipping subtrees that are arguments to panic calls.
+func checkAllocs(pass *Pass, fd *ast.FuncDecl, where string) {
+	info := pass.Info
+	// funcScopes tracks the FuncLit nesting so capture analysis knows
+	// which scope a variable belongs to.
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPanicCall(info, n) {
+				return false // allocation to build a panic message is cold by definition
+			}
+			switch calleeName(info, n) {
+			case "make":
+				pass.Reportf(n.Pos(), "hot path %s: make allocates; serve from a Scratch/Arena or pre-size outside the hot loop", where)
+			case "new":
+				pass.Reportf(n.Pos(), "hot path %s: new allocates; reuse caller-owned storage", where)
+			case "append":
+				pass.Reportf(n.Pos(), "hot path %s: append may grow its backing array; pre-size from scratch (suppress with a reason if capacity is provably reserved)", where)
+			}
+			if pkg := callPkgPath(info, n); pkg == "fmt" {
+				pass.Reportf(n.Pos(), "hot path %s: fmt call allocates (boxing + formatting); move diagnostics off the hot path", where)
+			}
+			reportStringConv(pass, info, n, where)
+			reportCallBoxing(pass, info, n, where)
+		case *ast.CompositeLit:
+			reportCompositeLit(pass, info, n, where)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hot path %s: &T{...} escapes to the heap", where)
+				}
+			}
+		case *ast.FuncLit:
+			if caps := captured(info, n); len(caps) > 0 {
+				pass.Reportf(n.Pos(), "hot path %s: closure captures %s; the closure context allocates per call", where, strings.Join(caps, ", "))
+			}
+		case *ast.AssignStmt:
+			reportAssignBoxing(pass, info, n, where)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, inspect)
+}
+
+// isPanicCall reports whether n is a call to the builtin panic.
+func isPanicCall(info *types.Info, n *ast.CallExpr) bool {
+	id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// calleeName returns the builtin name called by n, or "".
+func calleeName(info *types.Info, n *ast.CallExpr) string {
+	id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// callPkgPath returns the import path of the package whose function n
+// calls, or "".
+func callPkgPath(info *types.Info, n *ast.CallExpr) string {
+	sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return ""
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return ""
+	}
+	// Only package-qualified calls (fmt.Sprintf), not method calls.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+			return obj.Pkg().Path()
+		}
+	}
+	return ""
+}
+
+// reportStringConv flags string(x) conversions that allocate: from
+// []byte, []rune, rune, or integer types.
+func reportStringConv(pass *Pass, info *types.Info, n *ast.CallExpr, where string) {
+	tv, ok := info.Types[n.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Kind() != types.String {
+		return
+	}
+	if len(n.Args) != 1 {
+		return
+	}
+	at := info.TypeOf(n.Args[0])
+	if at == nil {
+		return
+	}
+	switch u := at.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(n.Pos(), "hot path %s: string(%s) conversion copies and allocates", where, at)
+	case *types.Basic:
+		if u.Info()&types.IsInteger != 0 {
+			pass.Reportf(n.Pos(), "hot path %s: string(%s) conversion allocates; use strconv.AppendInt into scratch", where, at)
+		}
+	}
+}
+
+// boxes reports whether assigning a value of concrete type from to an
+// interface type allocates: every non-pointer-shaped concrete value is
+// heap-boxed when it becomes an interface.
+func boxes(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	if _, ok := from.Underlying().(*types.Interface); ok {
+		return false // interface→interface copies the existing box
+	}
+	switch u := from.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: stored directly in the iface word
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil && u.Kind() != types.UnsafePointer
+	default:
+		return true // structs, arrays, slices, strings box
+	}
+}
+
+// reportCallBoxing flags arguments that are implicitly converted to
+// interface parameters, boxing the value.
+func reportCallBoxing(pass *Pass, info *types.Info, n *ast.CallExpr, where string) {
+	sigT := info.TypeOf(n.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range n.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if n.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at := info.TypeOf(arg)
+		if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+			continue // constants may be boxed at compile time into rodata
+		}
+		if boxes(at, pt) {
+			pass.Reportf(arg.Pos(), "hot path %s: argument %s is boxed into interface %s; this allocates", where, at, pt)
+		}
+	}
+}
+
+// reportAssignBoxing flags assignments whose RHS is boxed into an
+// interface-typed LHS.
+func reportAssignBoxing(pass *Pass, info *types.Info, n *ast.AssignStmt, where string) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i := range n.Lhs {
+		lt, rt := info.TypeOf(n.Lhs[i]), info.TypeOf(n.Rhs[i])
+		if tv, ok := info.Types[n.Rhs[i]]; ok && tv.Value != nil {
+			continue
+		}
+		if boxes(rt, lt) {
+			pass.Reportf(n.Rhs[i].Pos(), "hot path %s: value of type %s is boxed into interface %s; this allocates", where, rt, lt)
+		}
+	}
+}
+
+// reportCompositeLit flags literals whose storage escapes to the heap
+// in the common case: slice and map literals always allocate backing
+// storage; &T{...} allocates unless escape analysis can stack it.
+// Plain value literals (T{...}, [N]T{...}) are stack-allocated and not
+// flagged.
+func reportCompositeLit(pass *Pass, info *types.Info, n *ast.CompositeLit, where string) {
+	t := info.TypeOf(n)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(n.Pos(), "hot path %s: slice literal allocates its backing array", where)
+	case *types.Map:
+		pass.Reportf(n.Pos(), "hot path %s: map literal allocates", where)
+	}
+}
+
+// captured returns the names of variables a FuncLit captures from its
+// enclosing function, sorted by first use.
+func captured(info *types.Info, lit *ast.FuncLit) []string {
+	var names []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || seen[obj] {
+			return true
+		}
+		// Package-level variables are not captures.
+		if obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+			return true
+		}
+		// A variable declared inside the literal is not a capture.
+		if lit.Pos() <= obj.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		seen[obj] = true
+		names = append(names, obj.Name())
+		return true
+	})
+	return names
+}

@@ -1,0 +1,38 @@
+// Package allowpkg exercises the //hdc:allow suppression contract and
+// the allowlint pseudo-analyzer. Expectations live in WANTS.txt (a
+// trailing // want would be parsed into the suppression reason).
+//
+//hdc:deterministic
+package allowpkg
+
+import "time"
+
+func suppressedOK() time.Time {
+	return time.Now() //hdc:allow determinism deliberate wall-clock in test fixture
+}
+
+func reasonless() time.Time {
+	return time.Now() //hdc:allow determinism
+}
+
+func unknownAnalyzer() time.Time {
+	return time.Now() //hdc:allow bogus some reason text
+}
+
+func malformed() time.Time {
+	return time.Now() //hdc:allow
+}
+
+func unused() int {
+	x := 1 //hdc:allow determinism nothing nondeterministic here
+	return x
+}
+
+func ownLineSuppression(m map[string]int) int {
+	s := 0
+	//hdc:allow determinism order-independent sum
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,11 @@
+// Package asmpair exercises the asm/portable pairing analyzer. This
+// file is build-tag-free: everything it references must exist under
+// both the accelerated (amd64 && !noasm) and portable configurations.
+package asmpair
+
+func Driver(x []float32, n int) {
+	kernelOK(x, n)
+	kernelNoPortable(x, n)
+	sigKernel(x, n)
+	gated(x, n)
+}

@@ -1,0 +1,18 @@
+//go:build amd64 && !noasm
+
+package asmpair
+
+// kernelNoPortable is referenced from tag-free code but has no twin
+// visible under noasm or non-amd64 builds.
+func kernelNoPortable(x []float32, n int) { // want `kernelNoPortable is referenced from build-tag-free code but has no portable declaration`
+	for i := 0; i < n; i++ {
+		x[i] += 1
+	}
+}
+
+// sigKernel's portable twin exists but with a different signature.
+func sigKernel(x []float32, n int) {
+	for i := 0; i < n; i++ {
+		x[i] -= 1
+	}
+}

@@ -1,0 +1,4 @@
+#include "textflag.h"
+
+TEXT ·gated(SB), NOSPLIT, $0-32 // want `lacks the .//go:build amd64 && !noasm. gate`
+	RET

@@ -1,0 +1,21 @@
+//go:build amd64 && !noasm
+
+package asmpair
+
+// kernelOK is the well-formed pattern: body-less declaration, TEXT in
+// ok_amd64.s, portable twin in ok_noasm.go.
+//
+//go:noescape
+func kernelOK(x []float32, n int)
+
+// gated has its TEXT in nogate_amd64.s, which is missing the noasm
+// build gate.
+//
+//go:noescape
+func gated(x []float32, n int)
+
+// danglingDecl claims an assembly implementation that no .s file
+// provides.
+//
+//go:noescape
+func danglingDecl(x []float32) // want `assembly-backed declaration danglingDecl has no TEXT`

@@ -1,0 +1,9 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+TEXT ·kernelOK(SB), NOSPLIT, $0-32
+	RET
+
+TEXT ·orphan(SB), NOSPLIT, $0-0 // want `TEXT ·orphan has no body-less Go declaration`
+	RET

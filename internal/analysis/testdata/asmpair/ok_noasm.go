@@ -1,0 +1,17 @@
+//go:build !amd64 || noasm
+
+package asmpair
+
+// kernelOK is the portable fallback twin of the assembly kernel.
+func kernelOK(x []float32, n int) {
+	for i := 0; i < n; i++ {
+		x[i] *= 2
+	}
+}
+
+// gated pairs the assembly version in nogate_amd64.s.
+func gated(x []float32, n int) {
+	for i := 0; i < n; i++ {
+		x[i]++
+	}
+}

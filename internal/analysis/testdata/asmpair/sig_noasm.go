@@ -1,0 +1,11 @@
+//go:build !amd64 || noasm
+
+package asmpair
+
+// sigKernel drops the n parameter: not call-compatible with the
+// accelerated declaration.
+func sigKernel(x []float32) { // want `portable sigKernel has signature func\(\[\]float32\) but the amd64 declaration has func\(\[\]float32, int\)`
+	for i := range x {
+		x[i] -= 1
+	}
+}

@@ -1,0 +1,69 @@
+// Package determ exercises the determinism analyzer. The marker below
+// opts the package in; in the real tree the kernel packages (tensor,
+// nn, infer, quant) are selected by import path.
+//
+//hdc:deterministic
+package determ
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+func mapOrder(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want `range over map`
+		s += v
+	}
+	return s
+}
+
+func mapOrderAllowed(dst, src map[string]int) {
+	//hdc:allow determinism copy into a fresh map; order-independent
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand global source`
+}
+
+func seededRand(r *rand.Rand) int {
+	return r.Intn(10) // explicit source: no finding
+}
+
+func clock() time.Duration {
+	t0 := time.Now()      // want `wall-clock read`
+	return time.Since(t0) // want `wall-clock read`
+}
+
+func racyMerge(in [][]float32) []float32 {
+	var out []float32
+	var total float32
+	var wg sync.WaitGroup
+	for i := range in {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out = append(out, in[i]...) // want `appends to captured "out"`
+			total = in[i][0]            // want `assigns captured "total"`
+		}(i)
+	}
+	wg.Wait()
+	_ = total
+	return out
+}
+
+func indexedMerge(in, out []float32) {
+	var wg sync.WaitGroup
+	for i := range in {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = in[i] * 2 // index-addressed slot: no finding
+		}(i)
+	}
+	wg.Wait()
+}

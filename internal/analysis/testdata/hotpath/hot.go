@@ -1,0 +1,74 @@
+package hotpath
+
+import "fmt"
+
+// HotRoot is a hot function: every allocation-inducing construct in it
+// and in its intra-package callees is a finding.
+//
+//hdc:hotpath
+func HotRoot(dst []float32, n int) []float32 {
+	buf := make([]float32, n) // want `make allocates`
+	_ = buf
+	dst = append(dst, 1) // want `append may grow`
+	callee(n)
+	cold(n)
+	notCalled(n)
+	s := fmt.Sprintf("%d", n) // want `fmt call allocates` `boxed into interface`
+	_ = s
+	xs := []int{1, 2, 3} // want `slice literal allocates`
+	_ = xs
+	p := &point{1, 2} // want `escapes to the heap`
+	_ = p
+	v := point{3, 4} // stack value literal: no finding
+	_ = v
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // panic args are cold: no finding
+	}
+	var sink any
+	sink = v // want `boxed into interface`
+	_ = sink
+	f := func() int { return n } // want `closure captures n`
+	g := func() int { return 42 } // non-capturing: no finding
+	return dst[:f()+g()]
+}
+
+type point struct{ x, y float32 }
+
+// callee is not annotated, but HotRoot reaches it, so it inherits the
+// contract.
+func callee(n int) {
+	_ = new(int) // want `new allocates`
+	_ = name(n)
+}
+
+// name converts an int to a string: allocation.
+func name(n int) string {
+	return string(rune(n)) // want `string\(rune\) conversion allocates`
+}
+
+// cold is the deliberately-slow branch: propagation stops here.
+//
+//hdc:coldpath
+func cold(n int) {
+	_ = make([]int, n) // no finding: coldpath
+}
+
+// notCalled is hot only because HotRoot calls it; notHot below is not
+// reachable from any hot root.
+func notCalled(n int) {
+	sink = fmt.Sprint("x") // want `fmt call allocates`
+}
+
+var sink string
+
+func notHot(n int) {
+	_ = make([]int, n) // no finding: unreachable from a hot root
+}
+
+// Suppressed demonstrates the reasoned escape hatch.
+//
+//hdc:hotpath
+func Suppressed(dst []float32) []float32 {
+	dst = append(dst, 1) //hdc:allow hotpathalloc caller reserves capacity via ResultBuf
+	return dst
+}

@@ -1,0 +1,69 @@
+// Package version exercises the versionkeyed analyzer against a
+// structural stand-in for nn.Param: any named type with a BumpVersion
+// method carries the version-keyed cache contract.
+package version
+
+type Tensor struct{ Data []float32 }
+
+type Param struct {
+	Value   *Tensor
+	Grad    *Tensor
+	version uint64
+}
+
+func (p *Param) BumpVersion() { p.version++ }
+
+type layer struct {
+	W *Param
+	B *Param
+}
+
+func good(p *Param, v []float32) {
+	copy(p.Value.Data, v)
+	p.BumpVersion() // paired in the same function: no finding
+}
+
+func goodLoop(p *Param, lr float32) {
+	for i := range p.Value.Data {
+		p.Value.Data[i] -= lr
+	}
+	p.BumpVersion()
+}
+
+func badElem(p *Param, x float32) {
+	p.Value.Data[0] = x // want `write to Param value without BumpVersion`
+}
+
+func badCopy(p *Param, v []float32) {
+	copy(p.Value.Data, v) // want `write to Param value without BumpVersion`
+}
+
+func badSlice(p *Param, v []float32) {
+	copy(p.Value.Data[1:3], v) // want `write to Param value without BumpVersion`
+}
+
+func badReplace(p *Param, t *Tensor) {
+	p.Value = t // want `write to Param value without BumpVersion`
+}
+
+func badNested(l *layer, x float32) {
+	l.W.Value.Data[2] += x // want `write to Param value without BumpVersion`
+}
+
+func gradWrite(p *Param, g float32) {
+	p.Grad.Data[0] += g // gradients carry no derived caches: no finding
+}
+
+func read(p *Param) float32 {
+	return p.Value.Data[0] // reads are free
+}
+
+type other struct{ Value *Tensor }
+
+func notParam(o *other, x float32) {
+	o.Value.Data[0] = x // no BumpVersion in the method set: no finding
+}
+
+func allowed(p *Param, x float32) {
+	p.Value.Data[0] = x //hdc:allow versionkeyed calibration scratch; never served
+}

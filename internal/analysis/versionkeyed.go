@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// VersionKeyed enforces the derived-cache invalidation contract on
+// trainable parameters: every write to a Param's value tensor must be
+// paired with a BumpVersion call, or layers holding version-keyed
+// derived forms (Linear's packed weight panel, the compiled plans'
+// folded weights, the int8 packed panels) keep serving the stale
+// pre-write bytes.
+//
+// A "Param" is any named type whose method set includes BumpVersion()
+// — structurally matched, so the analyzer needs no dependency on the
+// nn package. Flagged writes, in any function that does not also call
+// BumpVersion:
+//
+//	p.Value.Data[i] = x        // element store
+//	p.Value.Data[a:b] ...      // slice store
+//	copy(p.Value.Data, src)    // bulk overwrite
+//	p.Value = t                // wholesale tensor replacement
+//
+// The check is function-granular by design: a loop of element stores
+// followed by one BumpVersion (the optimizer pattern) is correct and
+// accepted; a helper that writes but never bumps is the exact bug
+// class the PR 4/5 cache-invalidation tests catch dynamically, found
+// here on every call path at compile time. Writes through an alias
+// (d := p.Value.Data; d[0] = x) are beyond the analyzer's reach — keep
+// parameter stores syntactically rooted at the Param.
+var VersionKeyed = &Analyzer{
+	Name: "versionkeyed",
+	Doc:  "flag Param value writes in functions that never call BumpVersion (stale derived caches)",
+	Run:  runVersionKeyed,
+}
+
+func runVersionKeyed(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var writes []ast.Node
+			bumps := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if isParamValueWrite(pass.Info, lhs) {
+							writes = append(writes, lhs)
+						}
+					}
+				case *ast.IncDecStmt:
+					if isParamValueWrite(pass.Info, n.X) {
+						writes = append(writes, n.X)
+					}
+				case *ast.CallExpr:
+					if calleeName(pass.Info, n) == "copy" && len(n.Args) == 2 {
+						if isParamValueWrite(pass.Info, n.Args[0]) {
+							writes = append(writes, n.Args[0])
+						}
+					}
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "BumpVersion" {
+						if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && obj.Name() == "BumpVersion" {
+							bumps = true
+						}
+					}
+				}
+				return true
+			})
+			if bumps {
+				continue
+			}
+			for _, w := range writes {
+				pass.Reportf(w.Pos(), "write to Param value without BumpVersion in %s: version-keyed caches (packed panels, compiled plans) will serve stale weights", fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// isParamValueWrite reports whether expr is a write target rooted at a
+// Param's value tensor: `<param>.Value`, `<param>.Value.Data[...]`, or
+// a slice thereof, where <param>'s type has a BumpVersion method.
+func isParamValueWrite(info *types.Info, expr ast.Expr) bool {
+	e := ast.Unparen(expr)
+	// Strip any number of index/slice layers: Data[i], Data[a:b].
+	for {
+		switch t := e.(type) {
+		case *ast.IndexExpr:
+			e = ast.Unparen(t.X)
+			continue
+		case *ast.SliceExpr:
+			e = ast.Unparen(t.X)
+			continue
+		}
+		break
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Either `<param>.Value` directly, or `<param>.Value.Data`.
+	if sel.Sel.Name == "Data" {
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		sel = inner
+	}
+	if sel.Sel.Name != "Value" {
+		return false
+	}
+	return hasBumpVersion(info.TypeOf(sel.X))
+}
+
+// hasBumpVersion reports whether t's method set (value or pointer)
+// includes a niladic BumpVersion method.
+func hasBumpVersion(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "BumpVersion" {
+			return true
+		}
+	}
+	return false
+}

@@ -132,4 +132,5 @@ func (s *SimilarityKernel) ClampTemperature(lo, hi float32) {
 		v = lo
 	}
 	s.K.Value.Data[0] = v
+	s.K.BumpVersion()
 }

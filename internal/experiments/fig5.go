@@ -72,6 +72,7 @@ func RunFig5(sc Scale) Fig5Result {
 		sweep("temp scale", []float64{7e-4, 0.03, 0.7}, func(c *core.TrainConfig, v float64) {
 			c.TempScale = float32(v)
 			model.Kernel.K.Value.Data[0] = float32(v)
+			model.Kernel.K.BumpVersion()
 		}),
 		sweep("weight decay", []float64{0, 1e-4, 0.01}, func(c *core.TrainConfig, v float64) {
 			c.WeightDecay = float32(v)
@@ -95,6 +96,7 @@ func restoreParams(m *core.Model, snap [][]float32) {
 	ps := m.Params()
 	for i, p := range ps {
 		copy(p.Value.Data, snap[i])
+		p.BumpVersion()
 		p.ZeroGrad()
 	}
 }

@@ -170,9 +170,11 @@ func (c *floatCaches) cloneWith(packKey [2]int, pb *tensor.PackedB, poolKey [2]i
 		dstPools: map[[2]int]*sync.Pool{},
 	}
 	if c != nil {
+		//hdc:allow determinism copy-on-write into a fresh map; key order does not affect the published caches
 		for k, v := range c.packs {
 			next.packs[k] = v
 		}
+		//hdc:allow determinism copy-on-write into a fresh map; key order does not affect the published caches
 		for k, v := range c.dstPools {
 			next.dstPools[k] = v
 		}

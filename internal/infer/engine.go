@@ -29,8 +29,24 @@ type Engine struct {
 // queries never share mutable state.
 type queryScratch struct {
 	shards []*shardScratch
-	counts []int // valid candidates per probe, per shard
-	merged []Hit // cross-shard merge buffer, reused per probe
+	counts []int        // valid candidates per probe, per shard
+	merged []Hit        // cross-shard merge buffer, reused per probe
+	sorter hitsByScore  // scratch-held sort.Interface for the merge
+}
+
+// hitsByScore orders merge candidates by descending score, ties by
+// ascending class. Held in queryScratch so the per-probe merge sorts
+// through sort.Sort on a reused *hitsByScore instead of sort.Slice,
+// which would box a fresh slice header and closure on every probe.
+type hitsByScore struct{ h []Hit }
+
+func (s *hitsByScore) Len() int      { return len(s.h) }
+func (s *hitsByScore) Swap(a, b int) { s.h[a], s.h[b] = s.h[b], s.h[a] }
+func (s *hitsByScore) Less(a, b int) bool {
+	if s.h[a].Score != s.h[b].Score {
+		return s.h[a].Score > s.h[b].Score
+	}
+	return s.h[a].Class < s.h[b].Class
 }
 
 // shardScratch is the per-shard reusable working set: the score matrix
@@ -134,6 +150,8 @@ type ResultBuf struct {
 }
 
 // take returns n results with k-wide TopK slices backed by the buffer.
+//
+//hdc:coldpath amortized ResultBuf growth; the steady state reuses capacity
 func (rb *ResultBuf) take(n, k int) []Result {
 	if cap(rb.results) < n {
 		rb.results = make([]Result, n)
@@ -162,6 +180,8 @@ func (e *Engine) Query(batch *Batch, k int) []Result {
 // QueryInto is Query writing results into the caller's ResultBuf: the
 // allocation-free steady-state path for tight readout loops that consume
 // results before the buffer's next use.
+//
+//hdc:hotpath
 func (e *Engine) QueryInto(batch *Batch, k int, buf *ResultBuf) []Result {
 	res, err := e.TryQueryInto(batch, k, buf)
 	if err != nil {
@@ -190,19 +210,17 @@ func (e *Engine) TryQueryInto(batch *Batch, k int, buf *ResultBuf) ([]Result, er
 		return nil, nil
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("%w: non-positive k=%d", ErrBadQuery, k)
+		return nil, errNonPositiveK(k)
 	}
 	if rr, ok := e.backend.(RepresentationRequirer); ok {
 		if r := rr.Requires(); !batch.Satisfies(r) {
-			return nil, fmt.Errorf("%w: backend %q consumes %s probes, batch carries %s only",
-				ErrMissingRepresentation, e.backend.Name(), r, batchContents(batch))
+			return nil, errMissingRep(e.backend, r, batch)
 		}
 	}
 	if d := batch.Dim(); d != e.backend.Dim() {
 		// Caught here so the mismatch surfaces as a typed error instead of
 		// an unrecoverable panic inside a shard worker goroutine.
-		return nil, fmt.Errorf("%w: probe dim %d, backend %q expects %d",
-			ErrBadQuery, d, e.backend.Name(), e.backend.Dim())
+		return nil, errDimMismatch(e.backend, d)
 	}
 	if c := e.backend.Classes(); k > c {
 		k = c
@@ -220,7 +238,7 @@ func (e *Engine) TryQueryInto(batch *Batch, k int, buf *ResultBuf) ([]Result, er
 			// k passed as an argument, not captured: a captured k (it is
 			// reassigned by the clamp above) would be boxed on every call,
 			// breaking the zero-alloc steady state of the 1-shard path.
-			go func(si, k int) {
+			go func(si, k int) { //hdc:allow hotpathalloc one goroutine and closure per shard per query is the fan-out design
 				defer wg.Done()
 				qs.counts[si] = e.runShard(si, qs.shards[si], batch, k)
 			}(si, k)
@@ -237,11 +255,11 @@ func (e *Engine) TryQueryInto(batch *Batch, k int, buf *ResultBuf) ([]Result, er
 		results = buf.take(n, k)
 		backing = buf.backing
 	} else {
-		results = make([]Result, n)
-		backing = make([]Hit, n*k)
+		results = make([]Result, n)   //hdc:allow hotpathalloc nil-buf calls return caller-owned results by documented contract
+		backing = make([]Hit, n*k)    //hdc:allow hotpathalloc nil-buf calls return caller-owned results by documented contract
 	}
 	if cap(qs.merged) < e.workers*k {
-		qs.merged = make([]Hit, 0, e.workers*k)
+		qs.merged = make([]Hit, 0, e.workers*k) //hdc:allow hotpathalloc amortized merge-scratch growth; the steady state reuses capacity
 	}
 	merged := qs.merged
 	for p := 0; p < n; p++ {
@@ -252,14 +270,10 @@ func (e *Engine) TryQueryInto(batch *Batch, k int, buf *ResultBuf) ([]Result, er
 		} else {
 			merged = merged[:0]
 			for si := range e.ranges {
-				merged = append(merged, qs.shards[si].cands[p*k:p*k+qs.counts[si]]...)
+				merged = append(merged, qs.shards[si].cands[p*k:p*k+qs.counts[si]]...) //hdc:allow hotpathalloc capacity reserved above: shards contribute at most workers*k candidates
 			}
-			sort.Slice(merged, func(a, b int) bool {
-				if merged[a].Score != merged[b].Score {
-					return merged[a].Score > merged[b].Score
-				}
-				return merged[a].Class < merged[b].Class
-			})
+			qs.sorter.h = merged
+			sort.Sort(&qs.sorter)
 			copy(top, merged[:k])
 		}
 		for i := range top {
@@ -274,6 +288,7 @@ func (e *Engine) TryQueryInto(batch *Batch, k int, buf *ResultBuf) ([]Result, er
 
 // batchContents names the representations a batch carries, for error
 // messages.
+//hdc:coldpath diagnostic string building for rejected queries
 func batchContents(b *Batch) string {
 	switch {
 	case b.Dense != nil && b.Packed != nil:
@@ -305,7 +320,7 @@ func (e *Engine) runShard(si int, s *shardScratch, batch *Batch, k int) int {
 	n := batch.Len()
 
 	if cap(s.cands) < n*k {
-		s.cands = make([]Hit, n*k)
+		s.cands = make([]Hit, n*k) //hdc:allow hotpathalloc amortized shard-scratch growth; the steady state reuses capacity
 	}
 	s.cands = s.cands[:n*k]
 
@@ -316,12 +331,12 @@ func (e *Engine) runShard(si int, s *shardScratch, batch *Batch, k int) int {
 
 	// Reuse (or grow) the score buffer.
 	if cap(s.flat) < n*width {
-		s.flat = make([]float64, n*width)
+		s.flat = make([]float64, n*width) //hdc:allow hotpathalloc amortized shard-scratch growth; the steady state reuses capacity
 	}
 	s.flat = s.flat[:n*width]
 	if len(s.scores) != n || (n > 0 && len(s.scores[0]) != width) {
 		if cap(s.scores) < n {
-			s.scores = make([][]float64, n)
+			s.scores = make([][]float64, n) //hdc:allow hotpathalloc amortized shard-scratch growth; the steady state reuses capacity
 		}
 		s.scores = s.scores[:n]
 		for p := 0; p < n; p++ {
@@ -368,4 +383,25 @@ func selectTopK(row []float64, lo int, dst []Hit) {
 		copy(dst[pos+1:count], dst[pos:count-1])
 		dst[pos] = Hit{Class: lo + j, Score: sc}
 	}
+}
+
+// Cold error constructors: kept out of TryQueryInto's body so the
+// accepting path stays free of fmt boxing; each runs only when the
+// query is rejected.
+
+//hdc:coldpath error construction for rejected queries
+func errNonPositiveK(k int) error {
+	return fmt.Errorf("%w: non-positive k=%d", ErrBadQuery, k)
+}
+
+//hdc:coldpath error construction for rejected queries
+func errMissingRep(b Backend, r Representation, batch *Batch) error {
+	return fmt.Errorf("%w: backend %q consumes %s probes, batch carries %s only",
+		ErrMissingRepresentation, b.Name(), r, batchContents(batch))
+}
+
+//hdc:coldpath error construction for rejected queries
+func errDimMismatch(b Backend, d int) error {
+	return fmt.Errorf("%w: probe dim %d, backend %q expects %d",
+		ErrBadQuery, d, b.Name(), b.Dim())
 }

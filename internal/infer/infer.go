@@ -141,6 +141,8 @@ func (b *Batch) Len() int {
 // Packed, or backends reading different representations would disagree
 // about which probe is which). A batch with neither representation is
 // valid and empty.
+//
+//hdc:coldpath error construction only; the accepting path allocates nothing
 func (b *Batch) Validate() error {
 	if b == nil {
 		return fmt.Errorf("%w: nil batch", ErrBadQuery)

@@ -163,6 +163,7 @@ func scanCompilable(l Layer) ([]*BatchNorm2D, error) {
 
 // fingerprint returns the current fold key: every parameter version,
 // then every batch-norm running-stat content hash, in scan order.
+//hdc:coldpath version probe allocates only on rebuild checks
 func (c *CompiledNet) fingerprint() []uint64 {
 	fp := make([]uint64, 0, len(c.params)+len(c.bns))
 	for _, p := range c.params {
@@ -197,6 +198,7 @@ func (c *CompiledNet) fresh(fp []uint64) bool {
 // network changed since the plan was built. The output tensor is
 // scratch-backed (valid until s.Reset) like every layer Infer; with a
 // warm Scratch and a built plan the call allocates nothing.
+//hdc:hotpath
 func (c *CompiledNet) Infer(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 	var key planKey
 	switch x.Rank() {
@@ -267,6 +269,7 @@ func (c *CompiledNet) Precompile(sampleShape ...int) error {
 
 // refold publishes a fresh empty state for the network's current
 // versions (plans rebuild lazily per geometry).
+//hdc:coldpath rebuild after a version bump; runs once per mutation
 func (c *CompiledNet) refold() *compiledState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -281,6 +284,7 @@ func (c *CompiledNet) refold() *compiledState {
 // addPlan builds the plan for key and publishes a state extended with
 // it. Concurrent builders for the same key produce identical plans; one
 // wins the publish, and losing duplicates are equivalent and harmless.
+//hdc:coldpath one-time plan construction per batch geometry
 func (c *CompiledNet) addPlan(key planKey) (*plan, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -297,6 +301,7 @@ func (c *CompiledNet) addPlan(key planKey) (*plan, error) {
 		return nil, err
 	}
 	next := &compiledState{fp: cur.fp, plans: make(map[planKey]*plan, len(cur.plans)+1), q: cur.q}
+	//hdc:allow determinism copy-on-write into a fresh map; key order does not affect the published state
 	for k, v := range cur.plans {
 		next.plans[k] = v
 	}
@@ -307,6 +312,7 @@ func (c *CompiledNet) addPlan(key planKey) (*plan, error) {
 
 // addQPlan builds the quantized plan for the calibration geometry and
 // publishes a state extended with it, mirroring addPlan.
+//hdc:coldpath one-time quantized plan construction
 func (c *CompiledNet) addQPlan() (*qplan, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -323,6 +329,7 @@ func (c *CompiledNet) addQPlan() (*qplan, error) {
 		return nil, err
 	}
 	next := &compiledState{fp: cur.fp, plans: make(map[planKey]*plan, len(cur.plans)), q: qp}
+	//hdc:allow determinism copy-on-write into a fresh map; key order does not affect the published state
 	for k, v := range cur.plans {
 		next.plans[k] = v
 	}
@@ -361,6 +368,7 @@ func (p *plan) val(id int, slab, x []float32, n int) []float32 {
 }
 
 // run executes the plan over x [N, ...] with s's workspace.
+//hdc:hotpath
 func (p *plan) run(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 	n := x.Dim(0)
 	slab := s.Grab(p.slot * n)
@@ -399,6 +407,7 @@ type opConv struct {
 	ih, iw, oh, ow                 int
 }
 
+//hdc:hotpath
 func (o *opConv) run(p *plan, slab, x []float32, n int, s *Scratch) {
 	in := p.val(o.inID, slab, x, n)
 	out := p.val(o.outID, slab, x, n)
@@ -431,6 +440,7 @@ func (o *opConv) im2col(dst, x []float32, n int) {
 // placement, so the quantized path's geometry is pinned by the f32
 // parity tests. Padded positions are written as the element type's zero
 // (the int8 plan's zero point: symmetric scales make q = 0 exact).
+//hdc:hotpath
 func im2colCNHW[T float32 | int8](dst, x []T, n, inC, kH, kW, stride, pad, h, w, oh, ow int, inNCHW bool) {
 	rowStride := n * oh * ow
 	sampStride, chanStride := h*w, n*h*w

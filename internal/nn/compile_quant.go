@@ -117,6 +117,8 @@ func (p *qplan) v32(id int, slab []float32, n int) []float32 {
 }
 
 // run executes the quantized plan over x [N, ...] with s's workspace.
+//
+//hdc:hotpath
 func (p *qplan) run(x *tensor.Tensor, s *Scratch) *tensor.Tensor {
 	n := x.Dim(0)
 	slab := s.Grab(p.slot * n)
@@ -183,6 +185,7 @@ type opConv8 struct {
 	ih, iw, oh, ow                 int
 }
 
+//hdc:hotpath
 func (o *opConv8) run(p *qplan, slab []float32, slab8 []int8, x []float32, n int, s *Scratch) {
 	in := p.v8(o.inID, slab8, n)
 	out := p.v8(o.outID, slab8, n)
@@ -222,6 +225,7 @@ type opLinear8 struct {
 	in, out     int
 }
 
+//hdc:hotpath
 func (o *opLinear8) run(p *qplan, slab []float32, slab8 []int8, x []float32, n int, s *Scratch) {
 	in := p.v8(o.inID, slab8, n)
 	g := s.Gemm8Opts()

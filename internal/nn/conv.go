@@ -70,6 +70,7 @@ func (c *Conv2D) im2col(x *tensor.Tensor, n, h, w, oh, ow int) *tensor.Tensor {
 // (per-sample matrices use rowStride=oh·ow, colOff=0). It reads only
 // layer geometry, never mutable state, so the stateless inference path
 // shares it.
+//hdc:hotpath
 func (c *Conv2D) im2colInto(dst []float32, rowStride, colOff int, x *tensor.Tensor, n, h, w, oh, ow int) {
 	xoff := n * c.inC * h * w
 	for ic := 0; ic < c.inC; ic++ {

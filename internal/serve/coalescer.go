@@ -54,6 +54,7 @@ type Coalescer struct {
 	mu     sync.RWMutex // guards closed vs. senders on reqs
 	closed bool
 	exec   sync.WaitGroup // in-flight batch executions
+	asm    sync.Pool      // *batchScratch: pooled input-assembly buffers
 
 	// serving counters (atomics; largestBatch guarded by statMu)
 	requests, rejected          atomic.Uint64
@@ -80,6 +81,7 @@ func NewCoalescer(eng *infer.Engine, cfg Config) *Coalescer {
 		reqs:     make(chan *request, cfg.Queue),
 		loopDone: make(chan struct{}),
 	}
+	c.asm.New = func() any { return new(batchScratch) }
 	go c.loop()
 	return c
 }
@@ -306,6 +308,8 @@ func (c *Coalescer) dispatch(batch []*request, reason int) {
 // execute assembles the engine batch in the backend's representation,
 // queries at the largest k any caller asked for, and demultiplexes the
 // per-probe results.
+//
+//hdc:hotpath
 func (c *Coalescer) execute(batch []*request) {
 	kmax := 1
 	for _, r := range batch {
@@ -314,15 +318,18 @@ func (c *Coalescer) execute(batch []*request) {
 		}
 	}
 
+	bs := c.asm.Get().(*batchScratch)
 	var eb *infer.Batch
 	if c.needs == infer.RepPacked {
-		packed := make([]*hdc.Binary, len(batch))
+		bs.grow(len(batch), 0)
+		packed := bs.packed[:len(batch)]
 		for i, r := range batch {
 			packed[i] = r.packed
 		}
 		eb = infer.PackedBatch(packed)
 	} else {
-		dense := tensor.New(len(batch), c.dim)
+		bs.grow(0, len(batch)*c.dim)
+		dense := tensor.FromSlice(bs.flat[:len(batch)*c.dim], len(batch), c.dim)
 		for i, r := range batch {
 			copy(dense.Row(i), r.dense)
 		}
@@ -330,6 +337,10 @@ func (c *Coalescer) execute(batch []*request) {
 	}
 
 	results, err := c.eng.TryQuery(eb, kmax)
+	// The engine reads the batch synchronously and result storage is
+	// fresh (TryQuery), so the assembly buffers are reusable as soon as
+	// the call returns — before the replies are even delivered.
+	c.putScratch(bs)
 	if err != nil {
 		for _, r := range batch {
 			r.out <- reply{err: err}
@@ -343,4 +354,33 @@ func (c *Coalescer) execute(batch []*request) {
 		}
 		r.out <- reply{res: infer.Result{TopK: top}}
 	}
+}
+
+// batchScratch holds one execute call's input-assembly buffers (the
+// pointer-gather slice for packed backends, the dense staging matrix for
+// float backends). Pooled on Coalescer.asm so steady-state batches
+// assemble without allocating, while concurrent executes each check out
+// their own instance.
+type batchScratch struct {
+	packed []*hdc.Binary
+	flat   []float32
+}
+
+//hdc:coldpath amortized assembly-scratch growth; the steady state reuses capacity
+func (b *batchScratch) grow(nPacked, nFlat int) {
+	if cap(b.packed) < nPacked {
+		b.packed = make([]*hdc.Binary, nPacked)
+	}
+	if cap(b.flat) < nFlat {
+		b.flat = make([]float32, nFlat)
+	}
+}
+
+// putScratch drops the probe pointers (so pooled scratch never pins a
+// caller's binary past the batch) and returns bs to the pool.
+func (c *Coalescer) putScratch(bs *batchScratch) {
+	for i := range bs.packed {
+		bs.packed[i] = nil
+	}
+	c.asm.Put(bs)
 }

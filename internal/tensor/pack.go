@@ -71,6 +71,7 @@ type GemmBuf struct {
 
 // grow ensures capacity for an A pack of an floats and a B pack of bn
 // floats, returning the sized slices.
+//hdc:coldpath amortized pack-buffer growth; the steady state reuses capacity
 func (g *GemmBuf) grow(an, bn int) (ap, bp []float32) {
 	if cap(g.a) < an {
 		g.a = make([]float32, an)
@@ -82,6 +83,7 @@ func (g *GemmBuf) grow(an, bn int) (ap, bp []float32) {
 }
 
 // grow8 ensures capacity for n bytes of int8-GEMM activation panels.
+//hdc:coldpath amortized pack-buffer growth; the steady state reuses capacity
 func (g *GemmBuf) grow8(n int) []uint8 {
 	if cap(g.b8) < n {
 		g.b8 = make([]uint8, n)
@@ -339,6 +341,8 @@ func (o *GemmOpts) hasEpilogue() bool {
 // GemmInto computes dst[m,n] = a[m,k] × b[k,n] (plus any fused epilogue)
 // without allocating in steady state. dst must not alias a or b. With
 // o.PB set, b may be nil.
+//
+//hdc:hotpath
 func GemmInto(dst, a, b *Tensor, o GemmOpts) *Tensor {
 	if a.Rank() != 2 || dst.Rank() != 2 {
 		panic(fmt.Sprintf("tensor.GemmInto: want rank-2 operands, have dst %v, a %v", dst.shape, a.shape))
@@ -373,6 +377,8 @@ func GemmInto(dst, a, b *Tensor, o GemmOpts) *Tensor {
 // b[k,n] plus any fused epilogue. It exists for hot paths that address
 // sub-planes of larger buffers (convolution output planes) without
 // wrapping them in tensors.
+//
+//hdc:hotpath
 func GemmSlices(dst, a, b []float32, m, k, n int, o GemmOpts) {
 	if len(dst) < m*n || len(a) < m*k || (o.PB == nil && len(b) < k*n) {
 		panic("tensor.GemmSlices: operand shorter than its declared shape")
@@ -441,7 +447,7 @@ func gemm(dst, a, b []float32, m, k, n int, o GemmOpts) {
 	// accumulation order, so the result is bitwise independent of the
 	// partition. Workers pack the B panels they consume into disjoint
 	// regions of the shared bpack buffer.
-	ParallelRows(nPanels, workers, func(jpLo, jpHi int) {
+	ParallelRows(nPanels, workers, func(jpLo, jpHi int) { //hdc:allow hotpathalloc one closure per multi-worker GEMM call, amortized over the panel work
 		gemmPanelRange(dst, apack, b, bpack, m, k, n, mPanels, jpLo, jpHi, o)
 	})
 }
@@ -523,6 +529,8 @@ func gemmPanelRange(dst, apack, b, bpack []float32, m, k, n, mPanels, jpLo, jpHi
 // of the AVX2 micro-kernel (same additions in the same order; the
 // vector max matches the scalar clamp on every input, NaN and signed
 // zero included).
+//
+//hdc:hotpath
 func epilogueTile(dst []float32, o GemmOpts, i0, j0, mr, nr, ldd int) {
 	for r := 0; r < mr; r++ {
 		drow := dst[(i0+r)*ldd+j0 : (i0+r)*ldd+j0+nr]

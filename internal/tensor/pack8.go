@@ -176,6 +176,8 @@ type Gemm8Opts struct {
 // Gemm8Into computes dst[m,n] = dequant(pw[m,k] · x[k,n]) with the fused
 // epilogue, writing float32 — the plan-boundary entry point. x is signed
 // int8, row-major [k, n].
+//
+//hdc:hotpath
 func Gemm8Into(dst []float32, pw *PackedB8, x []int8, n int, o Gemm8Opts) {
 	if len(dst) < pw.m*n {
 		panic("tensor.Gemm8Into: dst shorter than m·n")
@@ -186,6 +188,8 @@ func Gemm8Into(dst []float32, pw *PackedB8, x []int8, n int, o Gemm8Opts) {
 // Gemm8QInto is Gemm8Into with the epilogue value requantized to int8
 // with o.InvOutScale — the step-to-step entry point that keeps
 // activations int8 between plan ops.
+//
+//hdc:hotpath
 func Gemm8QInto(dst []int8, pw *PackedB8, x []int8, n int, o Gemm8Opts) {
 	if len(dst) < pw.m*n {
 		panic("tensor.Gemm8QInto: dst shorter than m·n")
@@ -235,7 +239,7 @@ func gemm8(dst32 []float32, dst8 []int8, pw *PackedB8, x []int8, n int, o Gemm8O
 	// the panels they consume into disjoint bpack regions (indexed by
 	// absolute panel number), and every output element's integer sum and
 	// float epilogue are independent of the partition.
-	ParallelRows(nPanels, workers, func(jpLo, jpHi int) {
+	ParallelRows(nPanels, workers, func(jpLo, jpHi int) { //hdc:allow hotpathalloc one closure per multi-worker GEMM call, amortized over the panel work
 		gemm8PanelRange(dst32, dst8, pw, x, bpack, n, jpLo, jpHi, o)
 	})
 }
@@ -345,6 +349,8 @@ func gemm8EpilogueTile(tile *[gemm8MR * gemm8NR]int32, dst32 []float32, dst8 []i
 }
 
 // gemm8EpilogueTileGeneric is the portable per-element epilogue.
+//
+//hdc:hotpath
 func gemm8EpilogueTileGeneric(tile *[gemm8MR * gemm8NR]int32, dst32 []float32, dst8 []int8, pw *PackedB8, o Gemm8Opts, i0, j0, mr, nr, n int) {
 	for r := 0; r < mr; r++ {
 		row := tile[r*gemm8NR:]

@@ -35,7 +35,7 @@ func ParallelRows(rows, workers int, fn func(lo, hi int)) {
 		}
 		hi := lo + w
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(lo, hi int) { //hdc:allow hotpathalloc one goroutine per worker is the fan-out design; the single-worker path spawns none
 			defer wg.Done()
 			fn(lo, hi)
 		}(lo, hi)

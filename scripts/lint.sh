@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# lint.sh — the repository's static-analysis gate, shared verbatim by CI
+# and local runs:
+#
+#   ./scripts/lint.sh
+#
+# Always runs hdclint (the in-tree analyzer suite enforcing the
+# hot-path contracts; see internal/analysis) through the `go vet
+# -vettool` driver, so suppressions and findings behave identically in
+# both modes. staticcheck and govulncheck run when present on PATH (CI
+# installs pinned versions; a local machine without them gets a notice,
+# not a failure).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tools="$(mktemp -d)"
+trap 'rm -rf "$tools"' EXIT
+
+echo "==> hdclint (go vet -vettool)"
+go build -o "$tools/hdclint" ./cmd/hdclint
+go vet -vettool="$tools/hdclint" ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "==> staticcheck"
+  staticcheck ./...
+else
+  echo "==> staticcheck not installed; skipping (CI runs it pinned)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+  echo "==> govulncheck"
+  govulncheck ./...
+else
+  echo "==> govulncheck not installed; skipping (CI runs it pinned)"
+fi
+
+echo "==> lint clean"
