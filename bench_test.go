@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net"
 	"runtime"
 	"sync"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/attrenc"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/hdc"
 	"repro/internal/imc"
@@ -267,6 +269,56 @@ func BenchmarkServeCoalesced(b *testing.B) {
 	s := co.Stats()
 	b.Logf("coalescer: %d requests → %d batches (mean %.1f probes/batch; %d full, %d timer flushes)",
 		s.Requests, s.Batches, s.MeanBatch, s.FullFlushes, s.TimerFlushes)
+}
+
+// --- Distributed serving benchmark (internal/dist). ---
+
+// BenchmarkDistScatterGather measures the scatter-gather hot path at
+// the serving workload: a 32-probe batch against the 1000-class d=1536
+// float memory split over 4 loopback shard servers — frame encode, TCP
+// round trip, per-shard candidate decode, and the router's global merge
+// per iteration. ns/op is per batch, directly comparable to
+// BenchmarkEngineBatch32RawQuery (the same workload on one in-process
+// engine); the gap is the wire cost of horizontal class-capacity. MB/s
+// is probe-slab throughput (the scattered query payload).
+func BenchmarkDistScatterGather(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	const nShards, k = 4, 5
+	phi := tensor.Rademacher(rng, servingClasses, servingDim)
+	backend := infer.NewFloatBackend(phi, nil, 0.05)
+	layout := dist.Layout{Classes: servingClasses, Dim: servingDim}
+	for _, r := range infer.SplitRanges(servingClasses, nShards) {
+		eng, err := infer.NewChecked(infer.NewRangeBackend(backend, r[0], r[1]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := dist.NewShardServer([]dist.Slab{{Base: r[0], Engine: eng}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(ln)
+		defer srv.Close()
+		layout.Shards = append(layout.Shards, dist.ShardSpec{Range: r, Replicas: []string{ln.Addr().String()}})
+	}
+	router, err := dist.NewRouter(layout, dist.RouterConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer router.Close()
+
+	x := tensor.Randn(rng, 1, servingBatch, servingDim)
+	batch := infer.DenseBatch(x)
+	b.SetBytes(int64(servingBatch * servingDim * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := router.TryQuery(batch, k); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- End-to-end pipeline benchmark (nn Infer + internal/infer). ---

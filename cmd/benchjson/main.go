@@ -16,7 +16,9 @@
 // against the baseline report, a delta table is printed to stdout (the
 // verdict line goes to stderr), and the exit status is non-zero when
 // any SHARED benchmark slowed by more than -max-regress percent — the
-// CI perf gate. Benchmarks present only in the new run are reported as
+// CI perf gate. Metric pairs both runs report (MB/s, B/op, custom
+// b.ReportMetric units) are additionally diffed as indented "(info)"
+// rows under their benchmark; they never affect the gate. Benchmarks present only in the new run are reported as
 // "new" and benchmarks only in the baseline as "dropped"; both are
 // informational and never trip the gate, so growing the suite (e.g.
 // adding BenchmarkCompiledInfer in PR 5) cannot fail CI against an
@@ -159,6 +161,25 @@ func compare(w io.Writer, base, cur Report, maxRegress float64) (regressed []str
 		fmt.Fprintf(w, "%-55s %14.0f %14.0f %+8.1f%%\n", r.Name, b.NsPerOp, r.NsPerOp, delta)
 		if delta > maxRegress {
 			regressed = append(regressed, r.Name)
+		}
+		// Metric pairs both runs report (MB/s, B/op, custom b.ReportMetric
+		// units) are diffed informationally: they contextualize an ns/op
+		// move — e.g. throughput per wire byte on the scatter-gather bench
+		// — but never trip the gate.
+		var units []string
+		for u := range r.Metrics {
+			if _, ok := b.Metrics[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			bv, cv := b.Metrics[u], r.Metrics[u]
+			if bv == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-55s %14.2f %14.2f %+8.1f%%  (info)\n",
+				"  "+r.Name+" ["+u+"]", bv, cv, (cv-bv)/bv*100)
 		}
 	}
 	var gone []string

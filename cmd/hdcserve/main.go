@@ -6,12 +6,22 @@
 //
 // The class memory is built at startup the way the paper's edge
 // deployment would ship it: bundled class prototypes from the
-// stationary HDC attribute encoder over a SynthCUB class set, realized
-// as float embeddings (reference cosine path), a packed binary item
-// memory (XOR+popcount edge path), and an analog crossbar with typical
-// PCM non-idealities (§V outlook). Each backend gets its own shared
-// concurrency-safe engine and coalescer, registered under its backend
-// name ("float", "binary", "imc").
+// stationary HDC attribute encoder over a SynthCUB class set
+// (internal/classmem), realized as float embeddings (reference cosine
+// path), a packed binary item memory (XOR+popcount edge path), and an
+// analog crossbar with typical PCM non-idealities (§V outlook). Each
+// backend gets its own shared concurrency-safe engine and coalescer,
+// registered under its backend name ("float", "binary", "imc").
+//
+// With -router shards.json the process serves a DISTRIBUTED class
+// memory instead: no local engines — the registered model is a
+// dist.Router that consistent-hash-routes every coalesced probe batch
+// to the cmd/hdcshard processes in the routing table, merges their
+// candidate lists with the engine's own comparator, and fails over
+// between replicas. The HTTP surface is unchanged; /v1/classify and
+// /v1/embed-classify transparently serve from N shard processes, with
+// rankings byte-identical to a single-process deployment of the same
+// memory (float/binary backends).
 //
 // The process also serves end to end: a frozen ResNet image encoder
 // (the paper's γ at laptop scale) is registered as an embedder and run
@@ -24,6 +34,10 @@
 // symmetric int8 GEMMs, activations int8 between plan steps (see
 // nn.CompileQuantized) — the software twin of the paper's low-precision
 // deployment story.
+//
+// Shutdown: SIGINT or SIGTERM stops accepting new HTTP requests, drains
+// in-flight requests and pending coalescer batches within -drain, then
+// exits; a second signal aborts immediately.
 //
 // API:
 //
@@ -46,6 +60,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,11 +68,10 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/attrenc"
+	"repro/internal/classmem"
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/hdc"
-	"repro/internal/imc"
+	"repro/internal/dist"
 	"repro/internal/infer"
 	"repro/internal/nn"
 	"repro/internal/serve"
@@ -66,23 +80,38 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		classes    = flag.Int("classes", 50, "number of classes in the frozen memory")
-		dim        = flag.Int("d", 1536, "hypervector dimensionality")
-		seed       = flag.Int64("seed", 1, "master seed for the synthetic class memory")
-		workers    = flag.Int("workers", 0, "engine shard workers per backend (0 = NumCPU)")
-		maxBatch   = flag.Int("max-batch", 32, "coalescer: flush when this many probes are pending")
-		maxDelay   = flag.Duration("max-delay", 2*time.Millisecond, "coalescer: flush at latest this long after the first pending probe")
-		backends   = flag.String("backends", "float,binary,imc", "comma-separated backends to register (float, binary, imc)")
-		embedder   = flag.Bool("embedder", true, "register the frozen ResNet image embedder for /v1/embed-classify")
-		embedImg   = flag.Int("embed-img", 16, "embedder input image size (pixels, square)")
-		embedWidth = flag.Int("embed-width", 8, "embedder ResNet base width")
-		precision  = flag.String("precision", "both", "embedder precision to serve: f32, int8, or both")
+		addr         = flag.String("addr", ":8080", "listen address (0 port resolves at bind)")
+		classes      = flag.Int("classes", 50, "number of classes in the frozen memory")
+		dim          = flag.Int("d", 1536, "hypervector dimensionality")
+		seed         = flag.Int64("seed", 1, "master seed for the synthetic class memory")
+		workers      = flag.Int("workers", 0, "engine shard workers per backend (0 = NumCPU)")
+		maxBatch     = flag.Int("max-batch", 32, "coalescer: flush when this many probes are pending")
+		maxDelay     = flag.Duration("max-delay", 2*time.Millisecond, "coalescer: flush at latest this long after the first pending probe")
+		backends     = flag.String("backends", "float,binary,imc", "comma-separated backends to register (float, binary, imc)")
+		embedder     = flag.Bool("embedder", true, "register the frozen ResNet image embedder for /v1/embed-classify")
+		embedImg     = flag.Int("embed-img", 16, "embedder input image size (pixels, square)")
+		embedWidth   = flag.Int("embed-width", 8, "embedder ResNet base width")
+		precision    = flag.String("precision", "both", "embedder precision to serve: f32, int8, or both")
+		routerPath   = flag.String("router", "", "serve a distributed class memory from this shards.json instead of local engines")
+		shardTimeout = flag.Duration("shard-timeout", 2*time.Second, "router: per-replica attempt timeout")
+		drain        = flag.Duration("drain", 5*time.Second, "shutdown: deadline for draining in-flight requests")
 	)
 	flag.Parse()
 
-	reg, err := buildRegistry(*classes, *dim, *seed, *workers, *backends,
-		serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay})
+	cfg := serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay}
+	var (
+		reg    *serve.Registry
+		router *dist.Router
+		err    error
+	)
+	if *routerPath != "" {
+		reg, router, err = buildRouterRegistry(*routerPath, *shardTimeout, cfg)
+		if err == nil {
+			*dim = router.Dim() // the embedder must produce shard-dim probes
+		}
+	} else {
+		reg, err = buildRegistry(*classes, *dim, *seed, *workers, *backends, cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -94,25 +123,49 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	log.Printf("hdcserve: %d classes at d=%d, models %v, embedders %v, coalescer max-batch=%d max-delay=%v",
-		*classes, *dim, reg.Names(), reg.EmbedderNames(), *maxBatch, *maxDelay)
+	if router != nil {
+		log.Printf("hdcserve: routing %d classes at d=%d over %d shard ranges, models %v, embedders %v",
+			router.Classes(), router.Dim(), router.Shards(), reg.Names(), reg.EmbedderNames())
+	} else {
+		log.Printf("hdcserve: %d classes at d=%d, models %v, embedders %v, coalescer max-batch=%d max-delay=%v",
+			*classes, *dim, reg.Names(), reg.EmbedderNames(), *maxBatch, *maxDelay)
+	}
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(reg)}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		reg.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: serve.NewHandler(reg)}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		sig := make(chan os.Signal, 1)
+		sig := make(chan os.Signal, 2)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("hdcserve: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		log.Printf("hdcserve: shutting down (drain %v; second signal aborts)", *drain)
+		go func() {
+			<-sig
+			log.Print("hdcserve: aborted")
+			os.Exit(1)
+		}()
+		// Ordered drain: stop accepting and wait out in-flight HTTP
+		// requests, then flush the coalescers' pending batches, then tear
+		// down the shard connections those batches needed.
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		_ = srv.Shutdown(ctx)
-		reg.Close() // drain pending probes, then stop the coalescers
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("hdcserve: drain deadline exceeded: %v", err)
+		}
+		reg.Close()
+		if router != nil {
+			router.Close()
+		}
 	}()
 
-	log.Printf("hdcserve: listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	log.Printf("hdcserve: listening on %s", ln.Addr())
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
 	<-done
@@ -121,49 +174,25 @@ func main() {
 // buildRegistry freezes one synthetic class memory and registers the
 // requested backends over it, each behind its own coalescer.
 func buildRegistry(classes, dim int, seed int64, workers int, backendList string, cfg serve.Config) (*serve.Registry, error) {
-	rng := rand.New(rand.NewSource(seed))
-	schema := dataset.NewCUBSchema()
-	enc := attrenc.NewHDCEncoder(rng, schema, dim)
-	dcfg := dataset.DefaultConfig()
-	dcfg.NumClasses = classes
-	dcfg.Seed = seed
-	data := dataset.Generate(dcfg)
-
-	labels := make([]string, classes)
-	im := hdc.NewItemMemory(dim)
-	phi := tensor.New(classes, dim)
-	for c := 0; c < classes; c++ {
-		labels[c] = data.ClassNames[c]
-		proto := enc.ClassPrototype(rng, data.ClassAttr.Row(c))
-		im.Store(labels[c], proto)
-		copy(phi.Row(c), proto.ToBipolar().Float32())
-	}
-
-	const temp = 1.0
+	mem := classmem.Build(classes, dim, seed)
 	reg := serve.NewRegistry()
 	for _, name := range strings.Split(backendList, ",") {
-		var be infer.Backend
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		be, err := mem.Backend(name)
+		if err != nil {
+			reg.Close()
+			return nil, err
+		}
 		var opts []infer.Option
 		if workers > 0 {
 			opts = append(opts, infer.WithWorkers(workers))
-		}
-		switch strings.TrimSpace(name) {
-		case "float":
-			be = infer.NewFloatBackend(phi, labels, temp)
-		case "binary":
-			be = infer.NewBinaryBackend(im)
-		case "imc":
-			be = infer.NewCrossbarBackend(phi, labels, temp, imc.TypicalPCM())
-			if workers <= 0 {
-				// Pin the tile layout so analog noise draws don't depend on
-				// the host's core count (same rationale as cmd/hdczsc).
-				opts = append(opts, infer.WithWorkers(4))
-			}
-		case "":
-			continue
-		default:
-			reg.Close()
-			return nil, fmt.Errorf("unknown backend %q (want float, binary, or imc)", name)
+		} else if name == "imc" {
+			// Pin the tile layout so analog noise draws don't depend on
+			// the host's core count (same rationale as cmd/hdczsc).
+			opts = append(opts, infer.WithWorkers(4))
 		}
 		eng, err := infer.NewChecked(be, opts...)
 		if err != nil {
@@ -179,6 +208,29 @@ func buildRegistry(classes, dim int, seed int64, workers int, backendList string
 		return nil, fmt.Errorf("no backends registered (-backends %q)", backendList)
 	}
 	return reg, nil
+}
+
+// buildRouterRegistry connects to the shard processes in the routing
+// table and registers the scatter-gather router as the served model,
+// behind the same micro-batching coalescer local engines get (the
+// serve.Querier seam): probes coalesce into batches, batches fan out to
+// shards as single multi-probe frames.
+func buildRouterRegistry(path string, shardTimeout time.Duration, cfg serve.Config) (*serve.Registry, *dist.Router, error) {
+	layout, err := dist.LoadLayout(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	router, err := dist.NewRouter(layout, dist.RouterConfig{ShardTimeout: shardTimeout})
+	if err != nil {
+		return nil, nil, err
+	}
+	reg := serve.NewRegistry()
+	if err := reg.Register(router.Name(), serve.NewCoalescer(router, cfg)); err != nil {
+		router.Close()
+		reg.Close()
+		return nil, nil, err
+	}
+	return reg, router, nil
 }
 
 // registerEmbedder freezes a seed-deterministic ResNet image encoder

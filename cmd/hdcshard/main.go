@@ -1,0 +1,192 @@
+// Command hdcshard serves one or more contiguous class-range slabs of a
+// frozen HDC-ZSC class memory over the compact binary shard protocol
+// (internal/dist) — the worker half of the distributed serving story,
+// with `hdcserve -router` as the scatter-gather front.
+//
+// The class memory is never shipped: it is a pure function of
+// (-classes, -d, -seed), so every shard process rebuilds the identical
+// memory from the shared seed and serves only its assigned ranges
+// through ordinary infer engines over range views (infer.NewRangeBackend).
+// Rankings merged by the router are byte-identical to a single process
+// serving the whole memory, for the deterministic backends (float,
+// binary).
+//
+// Modes:
+//
+//	hdcshard -addr 127.0.0.1:7071 -range 0:25 [flags]
+//	    Serve explicit class ranges (comma-separated lo:hi pairs).
+//	hdcshard -layout shards.json -self 10.0.0.3:7070 [flags]
+//	    Serve every range shards.json assigns to -self, listening on it.
+//	hdcshard -write-layout shards.json -shards 4 -nodes a:7070,b:7070 -replication 2 [flags]
+//	    Partition the class space with the engine's split rule, place
+//	    ranges onto nodes via the consistent-hash ring, write the
+//	    routing table, and exit.
+//
+// On startup the server prints `hdcshard: listening on ADDR` — with the
+// bound port resolved, so `-addr 127.0.0.1:0` works for tests — then
+// serves until SIGINT/SIGTERM, draining in-flight queries before exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/classmem"
+	"repro/internal/dist"
+	"repro/internal/infer"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7070", "listen address (with -range; 0 port resolves at bind)")
+		classes     = flag.Int("classes", 50, "global class count of the frozen memory")
+		dim         = flag.Int("d", 1536, "hypervector dimensionality")
+		seed        = flag.Int64("seed", 1, "master seed for the synthetic class memory (must match every shard and the router's oracle)")
+		backend     = flag.String("backend", "float", "backend to serve: float, binary, or imc")
+		workers     = flag.Int("workers", 0, "engine shard workers per slab (0 = NumCPU)")
+		ranges      = flag.String("range", "", "comma-separated lo:hi class ranges to serve")
+		layoutPath  = flag.String("layout", "", "shards.json routing table to take ranges from")
+		self        = flag.String("self", "", "this node's address in the layout (with -layout)")
+		writeLayout = flag.String("write-layout", "", "write a shards.json for -shards/-nodes/-replication and exit")
+		nShards     = flag.Int("shards", 0, "shard-range count (with -write-layout)")
+		nodes       = flag.String("nodes", "", "comma-separated node addresses (with -write-layout)")
+		replication = flag.Int("replication", 1, "replicas per range (with -write-layout)")
+	)
+	flag.Parse()
+
+	if *writeLayout != "" {
+		if err := emitLayout(*writeLayout, *backend, *classes, *dim, *nShards, *nodes, *replication); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	slabRanges, listenAddr, err := resolveRanges(*ranges, *layoutPath, *self, *addr, *classes, *dim)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	srv, err := buildServer(*backend, *classes, *dim, *seed, *workers, slabRanges)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("hdcshard: shutting down")
+		srv.Close() // stop accepting, drain in-flight queries
+	}()
+
+	log.Printf("hdcshard: %s backend, %d classes at d=%d, ranges %v", *backend, *classes, *dim, slabRanges)
+	log.Printf("hdcshard: listening on %s", ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// emitLayout is the -write-layout mode: build the routing table the
+// router and every shard agree on, and write it.
+func emitLayout(path, backend string, classes, dim, nShards int, nodeList string, replication int) error {
+	var nodes []string
+	for _, n := range strings.Split(nodeList, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	l, err := dist.BuildLayout(backend, classes, dim, nShards, nodes, replication)
+	if err != nil {
+		return err
+	}
+	if err := dist.WriteLayout(path, l); err != nil {
+		return err
+	}
+	fmt.Printf("hdcshard: wrote %s: %d ranges over %d nodes, replication %d\n",
+		path, len(l.Shards), len(nodes), replication)
+	return nil
+}
+
+// resolveRanges turns the flag combination into the slab ranges to serve
+// and the address to listen on: explicit -range pairs, or the ranges a
+// layout assigns to -self.
+func resolveRanges(rangeList, layoutPath, self, addr string, classes, dim int) ([][2]int, string, error) {
+	switch {
+	case rangeList != "" && layoutPath != "":
+		return nil, "", fmt.Errorf("hdcshard: -range and -layout are mutually exclusive")
+	case rangeList != "":
+		var out [][2]int
+		for _, spec := range strings.Split(rangeList, ",") {
+			lo, hi, ok := strings.Cut(strings.TrimSpace(spec), ":")
+			if !ok {
+				return nil, "", fmt.Errorf("hdcshard: bad -range element %q (want lo:hi)", spec)
+			}
+			l, err1 := strconv.Atoi(lo)
+			h, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || l < 0 || h <= l || h > classes {
+				return nil, "", fmt.Errorf("hdcshard: bad -range element %q for %d classes", spec, classes)
+			}
+			out = append(out, [2]int{l, h})
+		}
+		return out, addr, nil
+	case layoutPath != "":
+		if self == "" {
+			return nil, "", fmt.Errorf("hdcshard: -layout needs -self (this node's address in the layout)")
+		}
+		l, err := dist.LoadLayout(layoutPath)
+		if err != nil {
+			return nil, "", err
+		}
+		if l.Classes != classes || l.Dim != dim {
+			return nil, "", fmt.Errorf("hdcshard: layout %s declares %d classes at d=%d, flags say %d at d=%d",
+				layoutPath, l.Classes, l.Dim, classes, dim)
+		}
+		out := l.RangesFor(self)
+		if len(out) == 0 {
+			return nil, "", fmt.Errorf("hdcshard: layout %s assigns no ranges to %q (nodes: %v)",
+				layoutPath, self, l.Nodes())
+		}
+		return out, self, nil
+	default:
+		return nil, "", fmt.Errorf("hdcshard: need -range or -layout (or -write-layout)")
+	}
+}
+
+// buildServer freezes the seed-derived class memory and wraps one
+// engine per assigned range, each over a range view of the shared
+// global backend.
+func buildServer(backend string, classes, dim int, seed int64, workers int, ranges [][2]int) (*dist.ShardServer, error) {
+	mem := classmem.Build(classes, dim, seed)
+	global, err := mem.Backend(backend)
+	if err != nil {
+		return nil, err
+	}
+	var opts []infer.Option
+	if workers > 0 {
+		opts = append(opts, infer.WithWorkers(workers))
+	}
+	slabs := make([]dist.Slab, 0, len(ranges))
+	for _, r := range ranges {
+		eng, err := infer.NewChecked(infer.NewRangeBackend(global, r[0], r[1]), opts...)
+		if err != nil {
+			return nil, err
+		}
+		slabs = append(slabs, dist.Slab{Base: r[0], Engine: eng})
+	}
+	return dist.NewShardServer(slabs)
+}

@@ -1,0 +1,508 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/hdc"
+	"repro/internal/infer"
+)
+
+// Wire protocol: length-prefixed little-endian binary frames over TCP.
+// No JSON touches the hot path — probe slabs travel as raw float32 /
+// uint64 words in exactly the layout the engine consumes, and a frame
+// is written with a single net.Conn.Write so pipelined frames never
+// interleave.
+//
+//	frame   := length:u32 payload
+//	payload := op:u8 reqID:u32 body
+//
+// length counts the payload bytes only. reqID is a per-connection
+// pipelining token: a client may have any number of frames in flight
+// on one connection, and the server replies in completion order with
+// the request's ID echoed, so one connection carries many overlapping
+// batches.
+//
+//	hello   := version:u8
+//	info    := version:u8 rep:u8 dim:u32 name:str8
+//	           nslabs:u16 { base:u32 classes:u32 { label:str16 }*classes }*nslabs
+//	query   := base:u32 k:u16 rep:u8 n:u16 dim:u32 slab
+//	           slab(dense)  := f32[n*dim]
+//	           slab(packed) := u64[n*ceil(dim/64)]
+//	results := n:u16 { kk:u16 { class:u32 score:f64bits }*kk }*n
+//	error   := msg:str16
+//
+// Classes in results frames are GLOBAL indices (the shard adds its
+// slab base before replying), and scores travel as raw IEEE-754 bits,
+// so the router's merge sees bit-for-bit the numbers the shard engine
+// computed — the byte-identical-ranking contract survives the wire.
+const (
+	// ProtocolVersion is negotiated in hello/info; a mismatch is a
+	// handshake error, never a silent misparse.
+	ProtocolVersion = 1
+	// MaxFrame caps a frame payload; a peer announcing more is treated
+	// as corrupt and the connection is dropped.
+	MaxFrame = 64 << 20
+)
+
+// Frame ops.
+const (
+	opHello byte = iota + 1
+	opInfo
+	opQuery
+	opResults
+	opError
+)
+
+// frameHeaderSize is the fixed per-payload prefix: op + reqID.
+const frameHeaderSize = 5
+
+// beginFrame starts a frame in buf (reset to length 0): the 4-byte
+// length placeholder, op, and reqID. Body bytes are appended by the
+// caller; endFrame patches the length.
+//
+//hdc:hotpath
+func beginFrame(buf []byte, op byte, reqID uint32) []byte {
+	buf = append(buf[:0], 0, 0, 0, 0, op) //hdc:allow hotpathalloc amortized frame-buffer growth; the steady state reuses capacity
+	buf = binary.LittleEndian.AppendUint32(buf, reqID)
+	return buf
+}
+
+// endFrame patches the length prefix once the body is complete and
+// returns the finished frame.
+//
+//hdc:hotpath
+func endFrame(buf []byte) []byte {
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	return buf
+}
+
+// readFrame reads one frame into scratch (grown as needed), returning
+// the op, request ID, body view, and the (possibly regrown) scratch.
+// The body view is valid until the next readFrame on the same scratch.
+//
+//hdc:hotpath
+func readFrame(r *bufio.Reader, scratch []byte) (op byte, reqID uint32, body, scratchOut []byte, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, 0, nil, scratch, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < frameHeaderSize || n > MaxFrame {
+		return 0, 0, nil, scratch, errFrameSize(n)
+	}
+	if cap(scratch) < int(n) {
+		scratch = make([]byte, n) //hdc:allow hotpathalloc amortized frame-scratch growth; the steady state reuses capacity
+	}
+	scratch = scratch[:n]
+	if _, err = io.ReadFull(r, scratch); err != nil {
+		return 0, 0, nil, scratch, err
+	}
+	return scratch[0], binary.LittleEndian.Uint32(scratch[1:5]), scratch[frameHeaderSize:], scratch, nil
+}
+
+// appendStr8 / appendStr16 append length-prefixed strings.
+func appendStr8(buf []byte, s string) []byte {
+	if len(s) > math.MaxUint8 {
+		s = s[:math.MaxUint8]
+	}
+	buf = append(buf, byte(len(s)))
+	return append(buf, s...)
+}
+
+func appendStr16(buf []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// wireReader is a cursor over a frame body; decode helpers consume from
+// the front and record the first error so call sites stay linear.
+type wireReader struct {
+	b   []byte
+	err error
+}
+
+func (r *wireReader) fail() bool { return r.err != nil }
+
+func (r *wireReader) need(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = errTruncated(n, len(r.b))
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *wireReader) u8() byte {
+	if v := r.need(1); v != nil {
+		return v[0]
+	}
+	return 0
+}
+
+func (r *wireReader) u16() uint16 {
+	if v := r.need(2); v != nil {
+		return binary.LittleEndian.Uint16(v)
+	}
+	return 0
+}
+
+func (r *wireReader) u32() uint32 {
+	if v := r.need(4); v != nil {
+		return binary.LittleEndian.Uint32(v)
+	}
+	return 0
+}
+
+func (r *wireReader) u64() uint64 {
+	if v := r.need(8); v != nil {
+		return binary.LittleEndian.Uint64(v)
+	}
+	return 0
+}
+
+func (r *wireReader) str8() string {
+	n := int(r.u8())
+	if v := r.need(n); v != nil {
+		return string(v)
+	}
+	return ""
+}
+
+func (r *wireReader) str16() string {
+	n := int(r.u16())
+	if v := r.need(n); v != nil {
+		return string(v)
+	}
+	return ""
+}
+
+// --- hello / info ---------------------------------------------------------
+
+// SlabInfo describes one class-range slab a shard server owns, as
+// advertised in the info frame.
+type SlabInfo struct {
+	Base    int      // global index of the slab's first class
+	Classes int      // slab width
+	Labels  []string // per-class labels, local order
+}
+
+// ShardInfo is the decoded info frame: everything a router needs to
+// validate a replica against the layout and resolve labels locally, so
+// result frames never carry strings.
+type ShardInfo struct {
+	Version byte
+	Rep     infer.Representation
+	Dim     int
+	Name    string
+	Slabs   []SlabInfo
+}
+
+func appendHello(buf []byte, reqID uint32) []byte {
+	buf = beginFrame(buf, opHello, reqID)
+	buf = append(buf, ProtocolVersion)
+	return endFrame(buf)
+}
+
+func appendInfo(buf []byte, reqID uint32, info *ShardInfo) []byte {
+	buf = beginFrame(buf, opInfo, reqID)
+	buf = append(buf, ProtocolVersion, byte(info.Rep))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(info.Dim))
+	buf = appendStr8(buf, info.Name)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(info.Slabs)))
+	for _, sl := range info.Slabs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(sl.Base))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(sl.Classes))
+		for _, l := range sl.Labels {
+			buf = appendStr16(buf, l)
+		}
+	}
+	return endFrame(buf)
+}
+
+//hdc:coldpath handshake-only decode; query/result frames never reach it
+func decodeInfo(body []byte) (*ShardInfo, error) {
+	r := wireReader{b: body}
+	info := &ShardInfo{Version: r.u8(), Rep: infer.Representation(r.u8())}
+	info.Dim = int(r.u32())
+	info.Name = r.str8()
+	nslabs := int(r.u16())
+	for i := 0; i < nslabs && !r.fail(); i++ {
+		sl := SlabInfo{Base: int(r.u32()), Classes: int(r.u32())}
+		if sl.Classes < 0 || sl.Classes > MaxFrame {
+			return nil, fmt.Errorf("dist: info slab %d declares %d classes", i, sl.Classes)
+		}
+		sl.Labels = make([]string, 0, sl.Classes)
+		for c := 0; c < sl.Classes; c++ {
+			sl.Labels = append(sl.Labels, r.str16())
+		}
+		info.Slabs = append(info.Slabs, sl)
+	}
+	if r.fail() {
+		return nil, r.err
+	}
+	if info.Version != ProtocolVersion {
+		return nil, fmt.Errorf("dist: protocol version mismatch: peer %d, want %d", info.Version, ProtocolVersion)
+	}
+	return info, nil
+}
+
+// --- query ----------------------------------------------------------------
+
+// appendQuery encodes one probe batch addressed to the slab at base.
+// Dense probes are written as raw float32 rows; packed probes as raw
+// uint64 words. The representation is the shard's declared one, so the
+// server never converts.
+//
+//hdc:hotpath
+func appendQuery(buf []byte, reqID uint32, base int, k int, rep infer.Representation, batch *infer.Batch) ([]byte, error) {
+	n := batch.Len()
+	dim := batch.Dim()
+	if n > math.MaxUint16 || k > math.MaxUint16 {
+		return buf, errQueryTooLarge(n, k)
+	}
+	buf = beginFrame(buf, opQuery, reqID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(base))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(k))
+	buf = append(buf, byte(rep)) //hdc:allow hotpathalloc amortized frame-buffer growth; the steady state reuses capacity
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(n))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(dim))
+	switch rep {
+	case infer.RepDense:
+		x := batch.Dense
+		if x == nil {
+			return buf, errNoDense()
+		}
+		for p := 0; p < n; p++ {
+			for _, v := range x.Row(p) {
+				buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+			}
+		}
+	case infer.RepPacked:
+		probes := batch.SignPacked()
+		if probes == nil {
+			return buf, errNoPacked()
+		}
+		for _, probe := range probes {
+			for _, w := range probe.Words() {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+		}
+	default:
+		return buf, errBadRep(byte(rep))
+	}
+	return endFrame(buf), nil
+}
+
+// wireQuery is a decoded query frame. The probe slab is decoded into
+// the caller's scratch (flat / words grown, never shrunk), so a served
+// connection's steady state allocates nothing.
+type wireQuery struct {
+	base  int
+	k     int
+	rep   infer.Representation
+	n     int
+	dim   int
+	flat  []float32     // dense rows, n*dim (rep == RepDense)
+	words []uint64      // packed words (rep == RepPacked)
+	pack  []*hdc.Binary // views into words, one per probe
+}
+
+// decodeQuery parses a query frame body into q, reusing q's slab
+// buffers.
+//
+//hdc:hotpath
+func decodeQuery(body []byte, q *wireQuery) error {
+	r := wireReader{b: body}
+	q.base = int(r.u32())
+	q.k = int(r.u16())
+	q.rep = infer.Representation(r.u8())
+	q.n = int(r.u16())
+	q.dim = int(r.u32())
+	if r.fail() {
+		return r.err
+	}
+	switch q.rep {
+	case infer.RepDense:
+		want := q.n * q.dim
+		raw := r.need(4 * want)
+		if r.fail() {
+			return r.err
+		}
+		if cap(q.flat) < want {
+			q.flat = make([]float32, want) //hdc:allow hotpathalloc amortized probe-slab growth; the steady state reuses capacity
+		}
+		q.flat = q.flat[:want]
+		for i := range q.flat {
+			q.flat[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+	case infer.RepPacked:
+		wpv := (q.dim + 63) / 64
+		want := q.n * wpv
+		raw := r.need(8 * want)
+		if r.fail() {
+			return r.err
+		}
+		if cap(q.words) < want {
+			q.words = make([]uint64, want) //hdc:allow hotpathalloc amortized probe-slab growth; the steady state reuses capacity
+		}
+		q.words = q.words[:want]
+		for i := range q.words {
+			q.words[i] = binary.LittleEndian.Uint64(raw[8*i:])
+		}
+		if cap(q.pack) < q.n {
+			q.pack = make([]*hdc.Binary, q.n) //hdc:allow hotpathalloc amortized probe-slab growth; the steady state reuses capacity
+		}
+		q.pack = q.pack[:q.n]
+		for p := range q.pack {
+			q.pack[p] = hdc.BinaryFromWords(q.dim, q.words[p*wpv:(p+1)*wpv])
+		}
+	default:
+		return errBadRep(byte(q.rep))
+	}
+	if len(r.b) != 0 {
+		return errTrailing(len(r.b))
+	}
+	return nil
+}
+
+// --- results --------------------------------------------------------------
+
+// appendResults encodes per-probe candidate lists, mapping local class
+// indices to global ones by adding base. Scores travel as raw bits.
+//
+//hdc:hotpath
+func appendResults(buf []byte, reqID uint32, base int, results []infer.Result) []byte {
+	buf = beginFrame(buf, opResults, reqID)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(results)))
+	for _, res := range results {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(res.TopK)))
+		for _, h := range res.TopK {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(base+h.Class))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h.Score))
+		}
+	}
+	return endFrame(buf)
+}
+
+// shardReply is one shard's decoded candidate lists: hits at stride
+// kStride per probe (counts[p] valid), classes global, no labels — the
+// router resolves those at merge time from its handshake table.
+type shardReply struct {
+	n       int
+	kStride int
+	counts  []int
+	hits    []infer.Hit
+}
+
+// decodeResults parses a results frame body into rep, whose kStride
+// must be pre-set to the k the query asked for; buffers are reused.
+//
+//hdc:hotpath
+func decodeResults(body []byte, rep *shardReply) error {
+	r := wireReader{b: body}
+	rep.n = int(r.u16())
+	if r.fail() {
+		return r.err
+	}
+	k := rep.kStride
+	if cap(rep.counts) < rep.n {
+		rep.counts = make([]int, rep.n) //hdc:allow hotpathalloc amortized reply-buffer growth; the steady state reuses capacity
+	}
+	rep.counts = rep.counts[:rep.n]
+	if cap(rep.hits) < rep.n*k {
+		rep.hits = make([]infer.Hit, rep.n*k) //hdc:allow hotpathalloc amortized reply-buffer growth; the steady state reuses capacity
+	}
+	rep.hits = rep.hits[:rep.n*k]
+	for p := 0; p < rep.n; p++ {
+		kk := int(r.u16())
+		if kk > k {
+			return errReplyOverflow(kk, k)
+		}
+		rep.counts[p] = kk
+		row := rep.hits[p*k : p*k+kk]
+		for i := range row {
+			class := r.u32()
+			score := r.u64()
+			row[i] = infer.Hit{Class: int(class), Score: math.Float64frombits(score)}
+		}
+	}
+	if r.fail() {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return errTrailing(len(r.b))
+	}
+	return nil
+}
+
+// --- error ----------------------------------------------------------------
+
+//hdc:coldpath error frames answer only rejected requests
+func appendError(buf []byte, reqID uint32, msg string) []byte {
+	buf = beginFrame(buf, opError, reqID)
+	buf = appendStr16(buf, msg)
+	return endFrame(buf)
+}
+
+//hdc:coldpath error frames answer only rejected requests
+func decodeError(body []byte) error {
+	r := wireReader{b: body}
+	msg := r.str16()
+	if r.fail() {
+		return r.err
+	}
+	return fmt.Errorf("%w: %s", ErrRemote, msg)
+}
+
+// Cold error constructors, kept out of the framing hot path.
+
+//hdc:coldpath error construction for rejected frames
+func errFrameSize(n uint32) error {
+	return fmt.Errorf("%w: frame payload of %d bytes", ErrProtocol, n)
+}
+
+//hdc:coldpath error construction for rejected frames
+func errTruncated(want, have int) error {
+	return fmt.Errorf("%w: truncated frame: need %d bytes, have %d", ErrProtocol, want, have)
+}
+
+//hdc:coldpath error construction for rejected frames
+func errTrailing(n int) error {
+	return fmt.Errorf("%w: %d trailing bytes after frame body", ErrProtocol, n)
+}
+
+//hdc:coldpath error construction for rejected frames
+func errBadRep(rep byte) error {
+	return fmt.Errorf("%w: unknown probe representation %d", ErrProtocol, rep)
+}
+
+//hdc:coldpath error construction for rejected queries
+func errQueryTooLarge(n, k int) error {
+	return fmt.Errorf("%w: batch of %d probes at k=%d exceeds the wire limits", ErrProtocol, n, k)
+}
+
+//hdc:coldpath error construction for rejected queries
+func errNoDense() error {
+	return fmt.Errorf("%w: shard consumes dense probes, batch has none", ErrProtocol)
+}
+
+//hdc:coldpath error construction for rejected queries
+func errNoPacked() error {
+	return fmt.Errorf("%w: shard consumes packed probes, batch has none", ErrProtocol)
+}
+
+//hdc:coldpath error construction for rejected replies
+func errReplyOverflow(kk, k int) error {
+	return fmt.Errorf("%w: shard returned %d candidates for k=%d", ErrProtocol, kk, k)
+}

@@ -1,0 +1,192 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hdc"
+	"repro/internal/infer"
+	"repro/internal/tensor"
+)
+
+// readOne parses a single encoded frame back through the real read path.
+func readOne(t *testing.T, frame []byte) (op byte, reqID uint32, body []byte) {
+	t.Helper()
+	op, reqID, body, _, err := readFrame(bufio.NewReader(bytes.NewReader(frame)), nil)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	return op, reqID, body
+}
+
+func TestQueryFrameRoundTripDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, d = 3, 17
+	x := tensor.New(n, d)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*2 - 1
+	}
+	frame, err := appendQuery(nil, 42, 100, 5, infer.RepDense, infer.DenseBatch(x))
+	if err != nil {
+		t.Fatalf("appendQuery: %v", err)
+	}
+	op, reqID, body := readOne(t, frame)
+	if op != opQuery || reqID != 42 {
+		t.Fatalf("op=%d reqID=%d, want opQuery reqID=42", op, reqID)
+	}
+	var q wireQuery
+	if err := decodeQuery(body, &q); err != nil {
+		t.Fatalf("decodeQuery: %v", err)
+	}
+	if q.base != 100 || q.k != 5 || q.rep != infer.RepDense || q.n != n || q.dim != d {
+		t.Fatalf("header mismatch: %+v", q)
+	}
+	for i, v := range x.Data {
+		if q.flat[i] != v {
+			t.Fatalf("probe value %d: got %v want %v (must be bit-exact)", i, q.flat[i], v)
+		}
+	}
+}
+
+func TestQueryFrameRoundTripPacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n, d = 4, 130 // straddles a word boundary
+	probes := make([]*hdc.Binary, n)
+	for i := range probes {
+		probes[i] = hdc.NewRandomBinary(rng, d)
+	}
+	frame, err := appendQuery(nil, 7, 0, 3, infer.RepPacked, infer.PackedBatch(probes))
+	if err != nil {
+		t.Fatalf("appendQuery: %v", err)
+	}
+	_, _, body := readOne(t, frame)
+	var q wireQuery
+	if err := decodeQuery(body, &q); err != nil {
+		t.Fatalf("decodeQuery: %v", err)
+	}
+	if q.n != n || q.dim != d || len(q.pack) != n {
+		t.Fatalf("header mismatch: %+v", q)
+	}
+	for p, probe := range probes {
+		want, got := probe.Words(), q.pack[p].Words()
+		for w := range want {
+			if got[w] != want[w] {
+				t.Fatalf("probe %d word %d: got %x want %x", p, w, got[w], want[w])
+			}
+		}
+	}
+}
+
+func TestResultsFrameRoundTripPreservesScoreBits(t *testing.T) {
+	// Scores chosen to be ugly under any text round trip: bit-exact
+	// survival over the wire is what the parity contract rides on.
+	results := []infer.Result{
+		{TopK: []infer.Hit{{Class: 0, Score: 0.1 + 0.2}, {Class: 3, Score: 0.1 + 0.2}}},
+		{TopK: []infer.Hit{{Class: 1, Score: math.Nextafter(1, 2)}}},
+		{TopK: nil},
+	}
+	const base = 1000
+	frame := appendResults(nil, 9, base, results)
+	op, reqID, body := readOne(t, frame)
+	if op != opResults || reqID != 9 {
+		t.Fatalf("op=%d reqID=%d", op, reqID)
+	}
+	rep := shardReply{kStride: 2}
+	if err := decodeResults(body, &rep); err != nil {
+		t.Fatalf("decodeResults: %v", err)
+	}
+	if rep.n != len(results) {
+		t.Fatalf("n=%d want %d", rep.n, len(results))
+	}
+	for p, res := range results {
+		if rep.counts[p] != len(res.TopK) {
+			t.Fatalf("probe %d count=%d want %d", p, rep.counts[p], len(res.TopK))
+		}
+		for i, h := range res.TopK {
+			got := rep.hits[p*rep.kStride+i]
+			if got.Class != base+h.Class {
+				t.Fatalf("probe %d hit %d class=%d want %d (global)", p, i, got.Class, base+h.Class)
+			}
+			if math.Float64bits(got.Score) != math.Float64bits(h.Score) {
+				t.Fatalf("probe %d hit %d score bits %x want %x", p, i,
+					math.Float64bits(got.Score), math.Float64bits(h.Score))
+			}
+		}
+	}
+}
+
+func TestInfoFrameRoundTrip(t *testing.T) {
+	in := ShardInfo{
+		Version: ProtocolVersion,
+		Rep:     infer.RepPacked,
+		Dim:     1536,
+		Name:    "hamming-packed",
+		Slabs: []SlabInfo{
+			{Base: 0, Classes: 2, Labels: []string{"cat", "dog"}},
+			{Base: 500, Classes: 1, Labels: []string{"newt"}},
+		},
+	}
+	_, _, body := readOne(t, appendInfo(nil, 1, &in))
+	out, err := decodeInfo(body)
+	if err != nil {
+		t.Fatalf("decodeInfo: %v", err)
+	}
+	if out.Rep != in.Rep || out.Dim != in.Dim || out.Name != in.Name || len(out.Slabs) != 2 {
+		t.Fatalf("info mismatch: %+v", out)
+	}
+	for i, sl := range in.Slabs {
+		got := out.Slabs[i]
+		if got.Base != sl.Base || got.Classes != sl.Classes {
+			t.Fatalf("slab %d geometry mismatch: %+v", i, got)
+		}
+		for c := range sl.Labels {
+			if got.Labels[c] != sl.Labels[c] {
+				t.Fatalf("slab %d label %d: %q want %q", i, c, got.Labels[c], sl.Labels[c])
+			}
+		}
+	}
+}
+
+func TestErrorFrameRoundTrip(t *testing.T) {
+	_, _, body := readOne(t, appendError(nil, 3, "no slab at base 7"))
+	err := decodeError(body)
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("decoded error %v is not ErrRemote", err)
+	}
+}
+
+func TestReadFrameRejectsOversizedLength(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrame+1)
+	_, _, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:])), nil)
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("oversized frame: err=%v, want ErrProtocol", err)
+	}
+}
+
+func TestDecodeQueryRejectsTruncatedSlab(t *testing.T) {
+	x := tensor.New(2, 8)
+	frame, err := appendQuery(nil, 1, 0, 1, infer.RepDense, infer.DenseBatch(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, body := readOne(t, frame)
+	var q wireQuery
+	if err := decodeQuery(body[:len(body)-4], &q); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("truncated slab: err=%v, want ErrProtocol", err)
+	}
+}
+
+func TestDecodeResultsRejectsOverflowingCandidateList(t *testing.T) {
+	results := []infer.Result{{TopK: []infer.Hit{{Class: 0}, {Class: 1}, {Class: 2}}}}
+	_, _, body := readOne(t, appendResults(nil, 1, 0, results))
+	rep := shardReply{kStride: 2} // shard promised at most 2 per probe
+	if err := decodeResults(body, &rep); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("overflowing reply: err=%v, want ErrProtocol", err)
+	}
+}

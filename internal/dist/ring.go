@@ -1,0 +1,99 @@
+package dist
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVNodes is the virtual-node count per physical node: enough
+// that range ownership spreads near-uniformly over a handful of nodes,
+// small enough that ring construction stays trivial.
+const defaultVNodes = 64
+
+// Ring is a consistent-hash ring over shard node addresses. Each node
+// is hashed onto the ring at vnodes points; a key's owners are the
+// first distinct nodes clockwise from the key's hash. Placement is
+// deterministic in the node set alone, and adding or removing a node
+// only reassigns the keys that hashed adjacent to it — the property
+// that makes shard rebalancing incremental.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  int
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over the node addresses. vnodes <= 0 takes the
+// default (64 per node).
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(nodes)*vnodes), nodes: len(nodes)}
+	for _, n := range nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie on hash: order by node address so the ring is deterministic
+		// regardless of input order.
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// ringHash is FNV-1a 64 through a splitmix64 finalizer — a pure
+// function of the string, stable across processes and Go versions
+// (unlike maphash), which the layout contract requires: every node
+// building the same ring must agree on placement. The finalizer is
+// load-bearing: raw FNV-1a barely avalanches the trailing bytes, so
+// vnode keys like "n4#0".."n4#63" land in one contiguous arc and the
+// ring degenerates to two owners for everything.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owners returns the first n distinct nodes clockwise from key's hash
+// position, the key's replica set in preference order. n is clamped to
+// the node count.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n > r.nodes {
+		n = r.nodes
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		node := r.points[(start+i)%len(r.points)].node
+		taken := false
+		for _, o := range owners {
+			if o == node {
+				taken = true
+				break
+			}
+		}
+		if !taken {
+			owners = append(owners, node)
+		}
+	}
+	return owners
+}

@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestRingPlacementDeterministicInNodeSetAlone(t *testing.T) {
+	nodes := []string{"10.0.0.1:7070", "10.0.0.2:7070", "10.0.0.3:7070", "10.0.0.4:7070"}
+	shuffled := append([]string(nil), nodes...)
+	rand.New(rand.NewSource(3)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	a, b := NewRing(nodes, 0), NewRing(shuffled, 0)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("slab/%d-%d", i*10, i*10+10)
+		if got, want := b.Owners(key, 2), a.Owners(key, 2); !reflect.DeepEqual(got, want) {
+			t.Fatalf("key %q: owners %v vs %v under node-order permutation", key, got, want)
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndClamped(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 0)
+	owners := r.Owners("slab/0-100", 5)
+	if len(owners) != 3 {
+		t.Fatalf("owners=%v, want all 3 distinct nodes when n exceeds the node count", owners)
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate owner %q in %v", o, owners)
+		}
+		seen[o] = true
+	}
+}
+
+func TestRingNodeRemovalMovesOnlyAdjacentKeys(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	full := NewRing(nodes, 0)
+	reduced := NewRing(nodes[:4], 0) // n5 leaves
+	moved := 0
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("slab/%d", i)
+		before := full.Owners(key, 1)[0]
+		after := reduced.Owners(key, 1)[0]
+		if before != "n5" && before != after {
+			t.Fatalf("key %q moved %s→%s though its owner did not leave", key, before, after)
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved == 0 || moved == keys {
+		t.Fatalf("%d/%d keys moved on single-node departure; expected only the departed node's share", moved, keys)
+	}
+}
+
+func TestBuildLayoutCoversAndReplicates(t *testing.T) {
+	nodes := []string{"h1:7070", "h2:7070", "h3:7070"}
+	l, err := BuildLayout("m", 101, 64, 4, nodes, 2)
+	if err != nil {
+		t.Fatalf("BuildLayout: %v", err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("built layout fails its own Validate: %v", err)
+	}
+	if len(l.Shards) != 4 {
+		t.Fatalf("shards=%d want 4", len(l.Shards))
+	}
+	for _, s := range l.Shards {
+		if len(s.Replicas) != 2 {
+			t.Fatalf("range %v has %d replicas, want 2", s.Range, len(s.Replicas))
+		}
+		if s.Replicas[0] == s.Replicas[1] {
+			t.Fatalf("range %v replicated onto the same node twice: %v", s.Range, s.Replicas)
+		}
+	}
+	again, _ := BuildLayout("m", 101, 64, 4, nodes, 2)
+	if !reflect.DeepEqual(l, again) {
+		t.Fatal("BuildLayout is not deterministic in its inputs")
+	}
+}
+
+func TestLayoutValidateRejectsBrokenCover(t *testing.T) {
+	cases := []struct {
+		name string
+		l    Layout
+	}{
+		{"gap", Layout{Classes: 10, Dim: 4, Shards: []ShardSpec{
+			{Range: [2]int{0, 4}, Replicas: []string{"a"}},
+			{Range: [2]int{5, 10}, Replicas: []string{"a"}}}}},
+		{"overlap", Layout{Classes: 10, Dim: 4, Shards: []ShardSpec{
+			{Range: [2]int{0, 6}, Replicas: []string{"a"}},
+			{Range: [2]int{5, 10}, Replicas: []string{"a"}}}}},
+		{"short", Layout{Classes: 10, Dim: 4, Shards: []ShardSpec{
+			{Range: [2]int{0, 9}, Replicas: []string{"a"}}}}},
+		{"no replicas", Layout{Classes: 10, Dim: 4, Shards: []ShardSpec{
+			{Range: [2]int{0, 10}}}}},
+		{"empty", Layout{Classes: 10, Dim: 4}},
+	}
+	for _, tc := range cases {
+		if err := tc.l.Validate(); !errors.Is(err, ErrLayout) {
+			t.Errorf("%s: Validate()=%v, want ErrLayout", tc.name, err)
+		}
+	}
+}
+
+func TestLayoutRangesFor(t *testing.T) {
+	l := Layout{Classes: 10, Dim: 4, Shards: []ShardSpec{
+		{Range: [2]int{0, 5}, Replicas: []string{"a", "b"}},
+		{Range: [2]int{5, 10}, Replicas: []string{"b"}},
+	}}
+	if got := l.RangesFor("a"); !reflect.DeepEqual(got, [][2]int{{0, 5}}) {
+		t.Fatalf("RangesFor(a)=%v", got)
+	}
+	if got := l.RangesFor("b"); !reflect.DeepEqual(got, [][2]int{{0, 5}, {5, 10}}) {
+		t.Fatalf("RangesFor(b)=%v", got)
+	}
+	if got := l.RangesFor("c"); got != nil {
+		t.Fatalf("RangesFor(c)=%v, want nil", got)
+	}
+}

@@ -1,0 +1,411 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/infer"
+)
+
+// RouterConfig tunes the router's failover and pooling behavior. The
+// zero value takes the defaults.
+type RouterConfig struct {
+	// ShardTimeout bounds one replica attempt (write + reply), default
+	// 2s. A replica that blows it is condemned: its connection is torn
+	// down and the next replica is tried.
+	ShardTimeout time.Duration
+	// DialTimeout bounds connection establishment + handshake, default
+	// 2s.
+	DialTimeout time.Duration
+	// Attempts caps replica tries per shard per query (failover budget),
+	// default: every replica once.
+	Attempts int
+	// ConnsPerReplica sizes each replica's pipelined connection pool,
+	// default 2.
+	ConnsPerReplica int
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 2 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.ConnsPerReplica <= 0 {
+		c.ConnsPerReplica = 2
+	}
+	return c
+}
+
+// RouterStats is a snapshot of the router's serving counters.
+type RouterStats struct {
+	Queries    uint64 `json:"queries"`     // batches routed
+	ShardCalls uint64 `json:"shard_calls"` // replica round trips attempted
+	Failovers  uint64 `json:"failovers"`   // attempts that moved to another replica
+	Failed     uint64 `json:"failed"`      // batches that failed on every replica of some shard
+}
+
+// routerShard is one class-range slab and its replica connection pools
+// in failover preference order.
+type routerShard struct {
+	base    int
+	classes int
+	pools   []*replicaPool
+}
+
+// Router is the scatter-gather front of a distributed class memory: it
+// fans each probe batch out to every shard concurrently, collects the
+// per-shard top-k candidate lists (global class indices, raw score
+// bits), and merges them with the engine's own comparator — so the
+// ranking a client sees is byte-identical to one engine over the whole
+// class memory, at any shard count and any replica layout.
+//
+// A Router satisfies the serve.Querier seam: the micro-batching
+// coalescer fronts it exactly as it fronts a local engine, which is how
+// `hdcserve -router` serves /v1/classify from N shard processes without
+// the HTTP layer noticing.
+type Router struct {
+	name    string
+	classes int
+	dim     int
+	rep     infer.Representation
+	labels  []string
+	shards  []*routerShard
+	pools   map[string]*replicaPool // shared per address across shards
+	cfg     RouterConfig
+
+	scratch sync.Pool // *routeScratch
+
+	closed atomic.Bool
+
+	queries    atomic.Uint64
+	shardCalls atomic.Uint64
+	failovers  atomic.Uint64
+	failed     atomic.Uint64
+}
+
+// routeScratch is one query's working set: a reply slot and encode
+// buffer per shard, plus the merge buffer and sorter.
+type routeScratch struct {
+	replies []shardReply
+	bufs    [][]byte
+	errs    []error
+	merged  []infer.Hit
+	sorter  infer.HitSorter
+}
+
+// NewRouter connects to the layout's shards and validates every range
+// against a live replica's handshake: dimensionality, representation,
+// backend name, and slab geometry must agree, and the concatenated
+// label tables form the router's global label memory (result frames
+// carry no strings). A range whose replicas are all down fails
+// construction — a router that cannot cover the class space would
+// silently mis-rank.
+func NewRouter(layout Layout, cfg RouterConfig) (*Router, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{
+		name:    layout.Model,
+		classes: layout.Classes,
+		dim:     layout.Dim,
+		labels:  make([]string, layout.Classes),
+		pools:   map[string]*replicaPool{},
+		cfg:     cfg,
+	}
+	r.scratch.New = func() any { return new(routeScratch) }
+	pool := func(addr string) *replicaPool {
+		p, ok := r.pools[addr]
+		if !ok {
+			p = newReplicaPool(addr, cfg.ConnsPerReplica, cfg.DialTimeout)
+			r.pools[addr] = p
+		}
+		return p
+	}
+	for _, spec := range layout.Shards {
+		rs := &routerShard{base: spec.Range[0], classes: spec.Range[1] - spec.Range[0]}
+		for _, addr := range spec.Replicas {
+			rs.pools = append(rs.pools, pool(addr))
+		}
+		// Validate against the first replica that answers; the others are
+		// dialed lazily on demand.
+		var info *ShardInfo
+		var err error
+		for _, p := range rs.pools {
+			if info, err = p.info(); err == nil {
+				break
+			}
+		}
+		if info == nil {
+			r.Close()
+			return nil, fmt.Errorf("%w: range [%d, %d): no replica reachable: %v",
+				ErrShardDown, spec.Range[0], spec.Range[1], err)
+		}
+		if err := r.adoptInfo(spec, info); err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.shards = append(r.shards, rs)
+	}
+	sort.Slice(r.shards, func(a, b int) bool { return r.shards[a].base < r.shards[b].base })
+	return r, nil
+}
+
+// adoptInfo checks one shard's handshake against the layout and fills
+// in the router's identity (name, representation) and label table.
+func (r *Router) adoptInfo(spec ShardSpec, info *ShardInfo) error {
+	if info.Dim != r.dim {
+		return fmt.Errorf("%w: range %v serves d=%d, layout says %d", ErrLayout, spec.Range, info.Dim, r.dim)
+	}
+	if r.name == "" {
+		r.name = info.Name
+	}
+	var slab *SlabInfo
+	for i := range info.Slabs {
+		if info.Slabs[i].Base == spec.Range[0] {
+			slab = &info.Slabs[i]
+			break
+		}
+	}
+	if slab == nil {
+		return fmt.Errorf("%w: replica for range %v does not serve a slab at base %d", ErrLayout, spec.Range, spec.Range[0])
+	}
+	if slab.Classes != spec.Range[1]-spec.Range[0] {
+		return fmt.Errorf("%w: range %v slab holds %d classes", ErrLayout, spec.Range, slab.Classes)
+	}
+	if len(r.shards) == 0 {
+		r.rep = info.Rep
+	} else if info.Rep != r.rep {
+		return fmt.Errorf("%w: range %v serves representation %v, earlier shards %v", ErrLayout, spec.Range, info.Rep, r.rep)
+	}
+	copy(r.labels[slab.Base:slab.Base+slab.Classes], slab.Labels)
+	return nil
+}
+
+// Name reports the served backend name (the serve.Querier surface).
+func (r *Router) Name() string { return r.name }
+
+// Classes returns the global class count.
+func (r *Router) Classes() int { return r.classes }
+
+// Dim returns the probe dimensionality.
+func (r *Router) Dim() int { return r.dim }
+
+// Shards returns the shard-range count (the distributed analogue of
+// Engine.Workers).
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Requires reports the probe representation the shard backends consume.
+func (r *Router) Requires() infer.Representation { return r.rep }
+
+// Label returns the label of global class c.
+func (r *Router) Label(c int) string { return r.labels[c] }
+
+// Stats snapshots the routing counters.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		Queries:    r.queries.Load(),
+		ShardCalls: r.shardCalls.Load(),
+		Failovers:  r.failovers.Load(),
+		Failed:     r.failed.Load(),
+	}
+}
+
+// Close tears down every pooled connection. In-flight queries fail.
+func (r *Router) Close() {
+	r.closed.Store(true)
+	for _, p := range r.pools {
+		p.close()
+	}
+}
+
+// Query is TryQuery panicking on error, mirroring Engine.Query.
+func (r *Router) Query(batch *infer.Batch, k int) []infer.Result {
+	res, err := r.TryQuery(batch, k)
+	if err != nil {
+		panic("dist.Router.Query: " + err.Error())
+	}
+	return res
+}
+
+// TryQuery fans batch out to every shard concurrently, with per-shard
+// timeouts and bounded replica failover, and merges the candidate
+// lists into globally ordered per-probe top-k results — the same
+// ordering, tie-breaks included, as one infer.Engine over the whole
+// class memory. Results are freshly allocated (the coalescer's demux
+// hands them to waiting callers); everything else in the call reuses
+// pooled scratch. Safe for any number of concurrent callers.
+//
+//hdc:hotpath
+func (r *Router) TryQuery(batch *infer.Batch, k int) ([]infer.Result, error) {
+	if r.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := batch.Validate(); err != nil {
+		return nil, err
+	}
+	n := batch.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	if k <= 0 {
+		return nil, errBadK(k)
+	}
+	if !batch.Satisfies(r.rep) {
+		return nil, errRepUnsatisfied(r.rep)
+	}
+	if d := batch.Dim(); d != r.dim {
+		return nil, errDimMismatch(d, r.dim)
+	}
+	if k > r.classes {
+		k = r.classes
+	}
+	r.queries.Add(1)
+
+	sc := r.scratch.Get().(*routeScratch)
+	sc.ensure(len(r.shards))
+
+	// Scatter: one goroutine per shard range, each with its own reply
+	// slot, encode buffer, and failover loop.
+	var wg sync.WaitGroup
+	for si := range r.shards {
+		wg.Add(1)
+		go func(si, k int) { //hdc:allow hotpathalloc one goroutine and closure per shard per query is the fan-out design
+			defer wg.Done()
+			sc.errs[si] = r.callShard(r.shards[si], batch, k, &sc.replies[si], &sc.bufs[si])
+		}(si, k)
+	}
+	wg.Wait()
+	for si, err := range sc.errs {
+		if err != nil {
+			r.failed.Add(1)
+			s := r.shards[si]
+			r.scratch.Put(sc)
+			return nil, errRangeDown(s.base, s.classes, err)
+		}
+	}
+
+	// Gather: merge per-shard candidates per probe — concatenate, sort
+	// with the engine's comparator (a total order: global class indices
+	// are distinct), copy the top k. One backing allocation serves every
+	// result's TopK, exactly like the engine's phase 2.
+	results := make([]infer.Result, n) //hdc:allow hotpathalloc results are caller-owned by contract, mirroring Engine.TryQuery
+	backing := make([]infer.Hit, n*k)  //hdc:allow hotpathalloc results are caller-owned by contract, mirroring Engine.TryQuery
+	if cap(sc.merged) < len(r.shards)*k {
+		sc.merged = make([]infer.Hit, 0, len(r.shards)*k) //hdc:allow hotpathalloc amortized merge-scratch growth; the steady state reuses capacity
+	}
+	merged := sc.merged
+	for p := 0; p < n; p++ {
+		merged = merged[:0]
+		for si := range sc.replies {
+			rep := &sc.replies[si]
+			merged = append(merged, rep.hits[p*rep.kStride:p*rep.kStride+rep.counts[p]]...) //hdc:allow hotpathalloc capacity reserved above: shards contribute at most shards*k candidates
+		}
+		sc.sorter.H = merged
+		sort.Sort(&sc.sorter)
+		kk := k
+		if kk > len(merged) {
+			kk = len(merged)
+		}
+		top := backing[p*k : p*k+kk : (p+1)*k]
+		copy(top, merged[:kk])
+		for i := range top {
+			top[i].Label = r.labels[top[i].Class]
+		}
+		results[p] = infer.Result{TopK: top}
+	}
+	sc.merged = merged
+	r.scratch.Put(sc)
+	return results, nil
+}
+
+// callShard runs one shard range's scatter leg: clamp k to the slab
+// width, then try replicas in preference order until one answers
+// within the timeout or the attempt budget is spent. The reply slot is
+// safe to reuse across attempts because a timed-out attempt kills its
+// connection and waits for the reader to acknowledge before returning
+// (see clientConn.roundTrip).
+//
+//hdc:hotpath
+func (r *Router) callShard(s *routerShard, batch *infer.Batch, k int, out *shardReply, buf *[]byte) error {
+	kk := k
+	if kk > s.classes {
+		kk = s.classes
+	}
+	out.kStride = kk
+	attempts := r.cfg.Attempts
+	if attempts <= 0 || attempts > len(s.pools) {
+		attempts = len(s.pools)
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			r.failovers.Add(1)
+		}
+		r.shardCalls.Add(1)
+		conn, err := s.pools[a].get()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		b, err := conn.roundTrip(*buf, s.base, kk, r.rep, batch, r.cfg.ShardTimeout, out)
+		*buf = b
+		if err == nil {
+			if out.n != batch.Len() {
+				return errReplyCount(out.n, batch.Len())
+			}
+			return nil
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// ensure sizes the per-shard scratch slots.
+//
+//hdc:coldpath amortized scratch growth; the steady state reuses capacity
+func (sc *routeScratch) ensure(shards int) {
+	if cap(sc.replies) < shards {
+		sc.replies = make([]shardReply, shards)
+		sc.bufs = make([][]byte, shards)
+		sc.errs = make([]error, shards)
+	}
+	sc.replies = sc.replies[:shards]
+	sc.bufs = sc.bufs[:shards]
+	sc.errs = sc.errs[:shards]
+	for i := range sc.errs {
+		sc.errs[i] = nil
+	}
+}
+
+// Cold error constructors for rejected queries.
+
+//hdc:coldpath error construction for rejected queries
+func errBadK(k int) error {
+	return fmt.Errorf("%w: non-positive k=%d", infer.ErrBadQuery, k)
+}
+
+//hdc:coldpath error construction for rejected queries
+func errRepUnsatisfied(rep infer.Representation) error {
+	return fmt.Errorf("%w: shards consume %s probes, batch does not satisfy it", infer.ErrMissingRepresentation, rep)
+}
+
+//hdc:coldpath error construction for rejected queries
+func errDimMismatch(have, want int) error {
+	return fmt.Errorf("%w: probe dim %d, distributed class memory expects %d", infer.ErrBadQuery, have, want)
+}
+
+//hdc:coldpath error construction for malformed replies
+func errReplyCount(have, want int) error {
+	return fmt.Errorf("%w: shard replied for %d probes, batch has %d", ErrProtocol, have, want)
+}
+
+//hdc:coldpath error construction for exhausted scatter legs
+func errRangeDown(base, classes int, err error) error {
+	return fmt.Errorf("%w: range [%d, %d): %v", ErrShardDown, base, base+classes, err)
+}

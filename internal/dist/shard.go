@@ -1,0 +1,279 @@
+package dist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/infer"
+	"repro/internal/tensor"
+)
+
+// Slab is one class-range assignment of a shard server: an engine over
+// a range view of the frozen class memory (infer.NewRangeBackend) plus
+// the global index of its first class.
+type Slab struct {
+	// Base is the global class index of the engine's local class 0.
+	Base int
+	// Engine serves the slab; its backend typically wraps
+	// infer.NewRangeBackend(global, Base, Base+width).
+	Engine *infer.Engine
+}
+
+// ShardServer serves one or more class-range slabs over the compact
+// binary protocol. Every accepted connection gets a reader goroutine;
+// each query frame is decoded into pooled scratch and executed on its
+// own goroutine against the slab's shared engine, so one pipelined
+// connection keeps many batches in flight — the per-connection write
+// lock is the only serialization point, held just long enough to put
+// one fully encoded frame on the wire.
+type ShardServer struct {
+	info   ShardInfo
+	byBase map[int]*infer.Engine
+
+	scratch sync.Pool // *shardScratch: per-query working set
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	handlers sync.WaitGroup
+}
+
+// shardScratch is one query's working set: decoded probe slab, engine
+// result buffer, and the encoded reply frame.
+type shardScratch struct {
+	q    wireQuery
+	rbuf infer.ResultBuf
+	out  []byte
+}
+
+// NewShardServer wraps the slabs for serving. All engines must agree on
+// probe dimensionality, representation, and backend name (they are
+// views of one frozen class memory); slabs may not repeat a base.
+func NewShardServer(slabs []Slab) (*ShardServer, error) {
+	if len(slabs) == 0 {
+		return nil, errors.New("dist: shard server needs at least one slab")
+	}
+	s := &ShardServer{
+		byBase: make(map[int]*infer.Engine, len(slabs)),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.scratch.New = func() any { return new(shardScratch) }
+	for i, sl := range slabs {
+		if sl.Engine == nil {
+			return nil, fmt.Errorf("dist: slab %d has no engine", i)
+		}
+		if _, dup := s.byBase[sl.Base]; dup {
+			return nil, fmt.Errorf("dist: duplicate slab base %d", sl.Base)
+		}
+		eng := sl.Engine
+		if i == 0 {
+			s.info = ShardInfo{
+				Version: ProtocolVersion,
+				Rep:     eng.Requires(),
+				Dim:     eng.Dim(),
+				Name:    eng.Name(),
+			}
+		} else if eng.Dim() != s.info.Dim || eng.Requires() != s.info.Rep || eng.Name() != s.info.Name {
+			return nil, fmt.Errorf("dist: slab %d (%s d=%d) disagrees with slab 0 (%s d=%d)",
+				i, eng.Name(), eng.Dim(), s.info.Name, s.info.Dim)
+		}
+		s.byBase[sl.Base] = eng
+		labels := make([]string, eng.Classes())
+		for c := range labels {
+			labels[c] = eng.Backend().Label(c)
+		}
+		s.info.Slabs = append(s.info.Slabs, SlabInfo{Base: sl.Base, Classes: eng.Classes(), Labels: labels})
+	}
+	return s, nil
+}
+
+// Info returns the handshake description of the served slabs.
+func (s *ShardServer) Info() ShardInfo { return s.info }
+
+// Serve accepts connections on ln until Close; it returns nil after a
+// Close-initiated shutdown and the accept error otherwise.
+func (s *ShardServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves; the bound listener is
+// reachable via Addr once this returns or from another goroutine.
+func (s *ShardServer) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound listener address, nil before Serve.
+func (s *ShardServer) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// in-flight query handlers to finish (their replies may fail to write —
+// the peer is gone — but the engines are left quiescent). Idempotent.
+func (s *ShardServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.handlers.Wait()
+	return nil
+}
+
+// connWriter serializes frame writes on one connection.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// write puts one complete frame on the wire.
+//
+//hdc:hotpath
+func (w *connWriter) write(frame []byte) error {
+	w.mu.Lock()
+	_, err := w.conn.Write(frame)
+	w.mu.Unlock()
+	return err
+}
+
+// serveConn runs one connection's read loop. Hello frames are answered
+// inline; every query is decoded into pooled scratch synchronously
+// (the frame buffer is reused by the next read) and executed on its
+// own goroutine, so a large batch never blocks the pipeline behind it.
+func (s *ShardServer) serveConn(conn net.Conn) {
+	defer s.handlers.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	w := &connWriter{conn: conn}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var frame []byte
+	var hello []byte
+	for {
+		op, reqID, body, fr, err := readFrame(br, frame)
+		frame = fr
+		if err != nil {
+			return // EOF, peer reset, or corrupt framing: drop the connection
+		}
+		switch op {
+		case opHello:
+			hello = appendInfo(hello, reqID, &s.info)
+			if w.write(hello) != nil {
+				return
+			}
+		case opQuery:
+			sc := s.scratch.Get().(*shardScratch)
+			if err := decodeQuery(body, &sc.q); err != nil {
+				// A misframed query is indistinguishable from stream
+				// corruption; answer and drop the connection.
+				_ = w.write(appendError(sc.out, reqID, err.Error()))
+				s.scratch.Put(sc)
+				return
+			}
+			s.handlers.Add(1)
+			go s.handleQuery(w, reqID, sc)
+		default:
+			// Unknown op: protocol mismatch; drop the connection.
+			_ = w.write(appendError(frame[:0:0], reqID, errBadOp(op).Error()))
+			return
+		}
+	}
+}
+
+// handleQuery executes one decoded query against its slab engine and
+// writes the reply frame. Errors are answered in-band with the same
+// request ID so the client's pipelining never desynchronizes.
+//
+//hdc:hotpath
+func (s *ShardServer) handleQuery(w *connWriter, reqID uint32, sc *shardScratch) {
+	defer s.handlers.Done()
+	eng, ok := s.byBase[sc.q.base]
+	if !ok {
+		_ = w.write(appendError(sc.out, reqID, errUnknownSlab(sc.q.base).Error()))
+		s.scratch.Put(sc)
+		return
+	}
+	var batch infer.Batch
+	if sc.q.rep == infer.RepPacked {
+		batch.Packed = sc.q.pack
+	} else {
+		batch.Dense = tensor.FromSlice(sc.q.flat, sc.q.n, sc.q.dim)
+	}
+	results, err := eng.TryQueryInto(&batch, sc.q.k, &sc.rbuf)
+	if err != nil {
+		_ = w.write(appendError(sc.out, reqID, err.Error()))
+		s.scratch.Put(sc)
+		return
+	}
+	sc.out = appendResults(sc.out[:0], reqID, sc.q.base, results)
+	_ = w.write(sc.out)
+	s.scratch.Put(sc)
+}
+
+//hdc:coldpath error construction for rejected frames
+func errBadOp(op byte) error {
+	return fmt.Errorf("%w: unexpected op %d", ErrProtocol, op)
+}
+
+//hdc:coldpath error construction for rejected queries
+func errUnknownSlab(base int) error {
+	return fmt.Errorf("%w: no slab at base %d", ErrRemote, base)
+}

@@ -202,3 +202,26 @@ func FromBipolar(v Bipolar) *Binary {
 // Bytes returns the storage size of the packed vector in bytes, used by
 // the memory-footprint accounting (§III-A).
 func (b *Binary) Bytes() int { return len(b.words) * 8 }
+
+// Words exposes the packed word slab (component i at bit i%64 of word
+// i/64, tail bits zero). Callers must treat it as read-only: it is the
+// live backing store, shared so hot paths — the distributed serving
+// protocol writes probe slabs straight onto the wire — need no copy.
+func (b *Binary) Words() []uint64 { return b.words }
+
+// BinaryFromWords wraps a word slab as a packed vector of dimension d,
+// taking ownership of words (the inverse of Words, used to decode wire
+// probes without copying). The slab must hold exactly ceil(d/64) words;
+// tail bits beyond d are cleared here so Hamming kernels and equality
+// see only real components.
+func BinaryFromWords(d int, words []uint64) *Binary {
+	if d <= 0 {
+		panic(fmt.Sprintf("hdc.BinaryFromWords: non-positive dimension %d", d))
+	}
+	if want := (d + 63) / 64; len(words) != want {
+		panic(fmt.Sprintf("hdc.BinaryFromWords: %d words for dimension %d, want %d", len(words), d, want))
+	}
+	b := &Binary{words: words, dim: d}
+	b.maskTail()
+	return b
+}

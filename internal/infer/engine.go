@@ -29,24 +29,41 @@ type Engine struct {
 // queries never share mutable state.
 type queryScratch struct {
 	shards []*shardScratch
-	counts []int        // valid candidates per probe, per shard
-	merged []Hit        // cross-shard merge buffer, reused per probe
-	sorter hitsByScore  // scratch-held sort.Interface for the merge
+	counts []int      // valid candidates per probe, per shard
+	merged []Hit      // cross-shard merge buffer, reused per probe
+	sorter HitSorter  // scratch-held sort.Interface for the merge
 }
 
-// hitsByScore orders merge candidates by descending score, ties by
-// ascending class. Held in queryScratch so the per-probe merge sorts
-// through sort.Sort on a reused *hitsByScore instead of sort.Slice,
-// which would box a fresh slice header and closure on every probe.
-type hitsByScore struct{ h []Hit }
-
-func (s *hitsByScore) Len() int      { return len(s.h) }
-func (s *hitsByScore) Swap(a, b int) { s.h[a], s.h[b] = s.h[b], s.h[a] }
-func (s *hitsByScore) Less(a, b int) bool {
-	if s.h[a].Score != s.h[b].Score {
-		return s.h[a].Score > s.h[b].Score
+// HitLess is THE result ordering of the engine: descending score, ties
+// by ascending class index. It is a total order whenever the class
+// indices in play are distinct, which is why the scatter-gather merge —
+// in-process across shard workers and cross-process across shard
+// servers (internal/dist) — is byte-identical regardless of how the
+// class memory is partitioned or in which order candidate lists are
+// concatenated.
+func HitLess(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
 	}
-	return s.h[a].Class < s.h[b].Class
+	return a.Class < b.Class
+}
+
+// HitSorter is a scratch-held sort.Interface over the engine ordering
+// (HitLess). Merge loops keep one per working set and sort through
+// sort.Sort on the reused pointer instead of sort.Slice, which would
+// box a fresh slice header and closure on every probe. The distributed
+// router reuses it so the cross-process merge is the same code path.
+type HitSorter struct{ H []Hit }
+
+func (s *HitSorter) Len() int           { return len(s.H) }
+func (s *HitSorter) Swap(a, b int)      { s.H[a], s.H[b] = s.H[b], s.H[a] }
+func (s *HitSorter) Less(a, b int) bool { return HitLess(s.H[a], s.H[b]) }
+
+// SortHits sorts hits into the engine ordering. Convenience for cold
+// paths and tests; hot merge loops hold a HitSorter instead.
+func SortHits(h []Hit) {
+	s := HitSorter{H: h}
+	sort.Sort(&s)
 }
 
 // shardScratch is the per-shard reusable working set: the score matrix
@@ -96,18 +113,7 @@ func NewChecked(backend Backend, opts ...Option) (*Engine, error) {
 	if e.workers > c {
 		e.workers = c
 	}
-	// Near-equal contiguous ranges: the first (c % workers) shards get one
-	// extra class.
-	base, extra := c/e.workers, c%e.workers
-	lo := 0
-	for i := 0; i < e.workers; i++ {
-		w := base
-		if i < extra {
-			w++
-		}
-		e.ranges = append(e.ranges, [2]int{lo, lo + w})
-		lo += w
-	}
+	e.ranges = SplitRanges(c, e.workers)
 	e.pool.New = func() any {
 		qs := &queryScratch{
 			shards: make([]*shardScratch, e.workers),
@@ -121,11 +127,58 @@ func NewChecked(backend Backend, opts ...Option) (*Engine, error) {
 	return e, nil
 }
 
+// SplitRanges partitions [0, classes) into `shards` contiguous
+// near-equal ranges: the first (classes % shards) ranges get one extra
+// class. This is the canonical class-space split — the in-process
+// engine shards with it, and distributed shard layouts built with the
+// same rule line up exactly with the single-process reference.
+func SplitRanges(classes, shards int) [][2]int {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > classes {
+		shards = classes
+	}
+	ranges := make([][2]int, 0, shards)
+	base, extra := classes/shards, classes%shards
+	lo := 0
+	for i := 0; i < shards; i++ {
+		w := base
+		if i < extra {
+			w++
+		}
+		ranges = append(ranges, [2]int{lo, lo + w})
+		lo += w
+	}
+	return ranges
+}
+
 // Backend returns the engine's backend.
 func (e *Engine) Backend() Backend { return e.backend }
 
 // Workers returns the number of shard workers.
 func (e *Engine) Workers() int { return e.workers }
+
+// Name, Classes, and Dim delegate to the backend, so an *Engine
+// satisfies the same descriptive surface a distributed router exposes
+// (the serve.Querier seam: the coalescer fronts either one).
+func (e *Engine) Name() string { return e.backend.Name() }
+
+// Classes returns the backend's class count.
+func (e *Engine) Classes() int { return e.backend.Classes() }
+
+// Dim returns the backend's probe dimensionality.
+func (e *Engine) Dim() int { return e.backend.Dim() }
+
+// Requires reports the probe representation the backend consumes
+// (RepDense when the backend does not declare one — the historical
+// serving-layer default).
+func (e *Engine) Requires() Representation {
+	if rr, ok := e.backend.(RepresentationRequirer); ok {
+		return rr.Requires()
+	}
+	return RepDense
+}
 
 // ShardSelector is an optional fast path a Backend may implement to fuse
 // scoring and top-k selection into one pass over a shard, skipping the
@@ -272,7 +325,7 @@ func (e *Engine) TryQueryInto(batch *Batch, k int, buf *ResultBuf) ([]Result, er
 			for si := range e.ranges {
 				merged = append(merged, qs.shards[si].cands[p*k:p*k+qs.counts[si]]...) //hdc:allow hotpathalloc capacity reserved above: shards contribute at most workers*k candidates
 			}
-			qs.sorter.h = merged
+			qs.sorter.H = merged
 			sort.Sort(&qs.sorter)
 			copy(top, merged[:k])
 		}

@@ -41,10 +41,10 @@ type reply struct {
 // a MaxBatch/MaxDelay policy and demultiplexes the per-probe results
 // back to the waiting callers. One goroutine owns admission; each
 // flushed batch executes on its own goroutine against the shared
-// concurrency-safe infer.Engine, so a slow batch never blocks admission
-// of the next.
+// concurrency-safe Querier — a local infer.Engine or a dist.Router over
+// shard processes — so a slow batch never blocks admission of the next.
 type Coalescer struct {
-	eng      *infer.Engine
+	q        Querier
 	cfg      Config
 	needs    infer.Representation
 	dim      int
@@ -65,19 +65,16 @@ type Coalescer struct {
 	largestBatch                int
 }
 
-// NewCoalescer wraps a shared engine with a micro-batching front. The
-// zero Config takes the defaults (MaxBatch 32, MaxDelay 2ms).
-func NewCoalescer(eng *infer.Engine, cfg Config) *Coalescer {
+// NewCoalescer wraps a shared querier — a local infer.Engine or a
+// dist.Router — with a micro-batching front. The zero Config takes the
+// defaults (MaxBatch 32, MaxDelay 2ms).
+func NewCoalescer(q Querier, cfg Config) *Coalescer {
 	cfg = cfg.withDefaults()
-	needs := infer.RepDense
-	if rr, ok := eng.Backend().(infer.RepresentationRequirer); ok {
-		needs = rr.Requires()
-	}
 	c := &Coalescer{
-		eng:      eng,
+		q:        q,
 		cfg:      cfg,
-		needs:    needs,
-		dim:      eng.Backend().Dim(),
+		needs:    q.Requires(),
+		dim:      q.Dim(),
 		reqs:     make(chan *request, cfg.Queue),
 		loopDone: make(chan struct{}),
 	}
@@ -86,8 +83,8 @@ func NewCoalescer(eng *infer.Engine, cfg Config) *Coalescer {
 	return c
 }
 
-// Engine returns the underlying shared engine.
-func (c *Coalescer) Engine() *infer.Engine { return c.eng }
+// Querier returns the underlying shared querier.
+func (c *Coalescer) Querier() Querier { return c.q }
 
 // Config returns the effective admission policy.
 func (c *Coalescer) Config() Config { return c.cfg }
@@ -147,11 +144,11 @@ func (c *Coalescer) admitProbe(r *request) error {
 	case infer.RepDense:
 		if r.dense == nil {
 			return fmt.Errorf("%w: backend %q consumes dense probes, none provided",
-				ErrBadProbe, c.eng.Backend().Name())
+				ErrBadProbe, c.q.Name())
 		}
 		if len(r.dense) != c.dim {
 			return fmt.Errorf("%w: embedding has %d components, backend %q expects %d",
-				ErrBadProbe, len(r.dense), c.eng.Backend().Name(), c.dim)
+				ErrBadProbe, len(r.dense), c.q.Name(), c.dim)
 		}
 		r.dense = append([]float32(nil), r.dense...)
 	case infer.RepPacked:
@@ -161,12 +158,12 @@ func (c *Coalescer) admitProbe(r *request) error {
 			}
 			if len(r.dense) != c.dim {
 				return fmt.Errorf("%w: embedding has %d components, backend %q expects %d",
-					ErrBadProbe, len(r.dense), c.eng.Backend().Name(), c.dim)
+					ErrBadProbe, len(r.dense), c.q.Name(), c.dim)
 			}
 			r.packed = infer.PackSign(tensor.FromSlice(r.dense, 1, c.dim))[0]
 		} else if r.packed.Dim() != c.dim {
 			return fmt.Errorf("%w: packed probe has dim %d, backend %q expects %d",
-				ErrBadProbe, r.packed.Dim(), c.eng.Backend().Name(), c.dim)
+				ErrBadProbe, r.packed.Dim(), c.q.Name(), c.dim)
 		} else {
 			r.packed = r.packed.Clone()
 		}
@@ -336,8 +333,8 @@ func (c *Coalescer) execute(batch []*request) {
 		eb = infer.DenseBatch(dense)
 	}
 
-	results, err := c.eng.TryQuery(eb, kmax)
-	// The engine reads the batch synchronously and result storage is
+	results, err := c.q.TryQuery(eb, kmax)
+	// The querier reads the batch synchronously and result storage is
 	// fresh (TryQuery), so the assembly buffers are reusable as soon as
 	// the call returns — before the replies are even delivered.
 	c.putScratch(bs)

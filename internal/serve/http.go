@@ -81,12 +81,15 @@ type healthResponse struct {
 	Embedders []string `json:"embedders,omitempty"`
 }
 
-// modelStats is one model's entry in the GET /stats reply.
+// modelStats is one model's entry in the GET /stats reply. Workers is
+// the in-process engine's shard-worker count; Shards is the distributed
+// router's shard-range count — whichever the model's querier reports.
 type modelStats struct {
 	Backend  string `json:"backend"`
 	Classes  int    `json:"classes"`
 	Dim      int    `json:"dim"`
-	Workers  int    `json:"workers"`
+	Workers  int    `json:"workers,omitempty"`
+	Shards   int    `json:"shards,omitempty"`
 	MaxBatch int    `json:"max_batch"`
 	MaxDelay string `json:"max_delay"`
 	Stats
@@ -121,7 +124,7 @@ func NewHandler(reg *Registry) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, ClassifyResponse{
-			Model: co.Engine().Backend().Name(),
+			Model: co.Querier().Name(),
 			TopK:  toHits(res.TopK),
 		})
 	})
@@ -173,7 +176,7 @@ func NewHandler(reg *Registry) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, EmbedClassifyResponse{
-			Model:    co.Engine().Backend().Name(),
+			Model:    co.Querier().Name(),
 			Embedder: emb.Name(),
 			TopK:     toHits(res.TopK),
 		})
@@ -190,16 +193,22 @@ func NewHandler(reg *Registry) http.Handler {
 			if err != nil {
 				continue // raced with Close
 			}
-			eng := co.Engine()
-			out[name] = modelStats{
-				Backend:  eng.Backend().Name(),
-				Classes:  eng.Backend().Classes(),
-				Dim:      eng.Backend().Dim(),
-				Workers:  eng.Workers(),
+			q := co.Querier()
+			ms := modelStats{
+				Backend:  q.Name(),
+				Classes:  q.Classes(),
+				Dim:      q.Dim(),
 				MaxBatch: co.Config().MaxBatch,
 				MaxDelay: co.Config().MaxDelay.String(),
 				Stats:    co.Stats(),
 			}
+			if w, ok := q.(interface{ Workers() int }); ok {
+				ms.Workers = w.Workers()
+			}
+			if s, ok := q.(interface{ Shards() int }); ok {
+				ms.Shards = s.Shards()
+			}
+			out[name] = ms
 		}
 		writeJSON(w, http.StatusOK, out)
 	})

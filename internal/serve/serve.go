@@ -28,6 +28,8 @@ package serve
 import (
 	"errors"
 	"time"
+
+	"repro/internal/infer"
 )
 
 // Typed errors returned by Classify and the registry.
@@ -49,6 +51,27 @@ var (
 	// match the embedder's input geometry.
 	ErrBadInput = errors.New("serve: bad embed input")
 )
+
+// Querier is the classification surface the coalescer batches in front
+// of: a local infer.Engine or a dist.Router fanning out to shard
+// processes. The coalescer — and everything above it, registry and HTTP
+// included — cannot tell the difference; that indifference is what lets
+// `hdcserve -router` serve a distributed class memory through the same
+// micro-batching front as a local one. Implementations must be safe for
+// concurrent TryQuery calls and must return freshly allocated results
+// (the coalescer demultiplexes them to waiting callers).
+type Querier interface {
+	TryQuery(batch *infer.Batch, k int) ([]infer.Result, error)
+	// Name is the served backend's name, surfaced in API responses.
+	Name() string
+	// Classes is the global class count.
+	Classes() int
+	// Dim is the probe dimensionality, enforced at admission.
+	Dim() int
+	// Requires is the probe representation the backend consumes; dense
+	// probes are sign-packed at admission for RepPacked queriers.
+	Requires() infer.Representation
+}
 
 // Config is the coalescer's admission policy.
 type Config struct {

@@ -3,16 +3,16 @@
 # machine-readable JSON (via cmd/benchjson), so the perf trajectory is
 # tracked PR over PR.
 #
-#   ./scripts/bench.sh                          # default pattern → BENCH_pr6.json
+#   ./scripts/bench.sh                          # default pattern → BENCH_pr8.json
 #   ./scripts/bench.sh 'EndToEndClassify' out.json
 #   BENCHTIME=5x ./scripts/bench.sh             # more iterations
-#   BASELINE=BENCH_pr4.json ./scripts/bench.sh  # + per-benchmark delta table,
+#   BASELINE=BENCH_pr6.json ./scripts/bench.sh  # + per-benchmark delta table,
 #                                               # non-zero exit on >25% regression
 set -eu
 cd "$(dirname "$0")/.."
 
-pattern="${1:-EndToEndClassify|CompiledInfer|QuantizedInfer|GEMM$|Gemm8$|EngineBatchedQuery|EngineBatch32RawQuery|ServeCoalesced|ItemMemoryPerProbeScan|EngineFloatBackend}"
-out="${2:-BENCH_pr6.json}"
+pattern="${1:-EndToEndClassify|CompiledInfer|QuantizedInfer|GEMM$|Gemm8$|EngineBatchedQuery|EngineBatch32RawQuery|ServeCoalesced|ItemMemoryPerProbeScan|EngineFloatBackend|DistScatterGather}"
+out="${2:-BENCH_pr8.json}"
 
 # Capture the bench run in a temp file first so a mid-run failure fails
 # the script (a plain pipe would discard go test's exit status).
