@@ -1,0 +1,298 @@
+// Command hdcload is the open-loop latency harness for the serving
+// stack: it offers Poisson traffic to a running hdcserve process at a
+// fixed arrival rate and reports what the service actually delivered —
+// goodput, shed rate, and the full latency distribution of accepted
+// requests.
+//
+// Open loop is the operative property: arrivals are scheduled by the
+// clock, not by completions, so a slowing server faces a growing
+// backlog exactly as it would in production. Closed-loop harnesses
+// (fire, wait, fire again) throttle themselves to the server's pace
+// and systematically hide overload collapse — the coordinated-omission
+// trap. Here every scheduled request fires on time no matter how many
+// are still outstanding, which is precisely the regime the serving
+// layer's watermark shedding (HTTP 429) exists for.
+//
+// The harness discovers the served geometry from GET /stats (probe
+// dimensionality per model, input shape per embedder), pre-marshals a
+// pool of request bodies so steady-state offering does no JSON work,
+// and drives POST /v1/classify — plus, with -embed-frac, a fraction of
+// POST /v1/embed-classify — recording per-request latency into the
+// same log-bucketed histogram the server uses internally
+// (internal/lat).
+//
+// Output is one JSON document (stdout, or -out file) summarizing the
+// run: offered vs. achieved arrival rate, accepted/shed/error counts,
+// goodput, and p50/p90/p99/p999/max latency over accepted requests.
+// scripts/load.sh wraps it to produce the committed BENCH_load.json.
+//
+// Example:
+//
+//	hdcserve -classes 50 -d 512 -addr :8080 &
+//	hdcload -addr localhost:8080 -model binary -rate 2000 -duration 10s -out BENCH_load.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lat"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:8080", "hdcserve address (host:port)")
+		model     = flag.String("model", "", "model to classify against (empty: the single registered model)")
+		embName   = flag.String("embedder", "", "embedder for -embed-frac traffic (empty: the single registered embedder)")
+		rate      = flag.Float64("rate", 1000, "offered arrival rate, requests/second (Poisson)")
+		duration  = flag.Duration("duration", 10*time.Second, "offered-load window")
+		k         = flag.Int("k", 3, "ranked hits per request")
+		embedFrac = flag.Float64("embed-frac", 0, "fraction of requests sent to /v1/embed-classify (0..1)")
+		bodies    = flag.Int("bodies", 64, "distinct pre-marshaled request bodies to cycle through")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+		seed      = flag.Int64("seed", 1, "probe-content seed")
+		out       = flag.String("out", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+	if *rate <= 0 || *duration <= 0 || *embedFrac < 0 || *embedFrac > 1 || *bodies < 1 {
+		fmt.Fprintln(os.Stderr, "hdcload: bad -rate/-duration/-embed-frac/-bodies")
+		os.Exit(2)
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	geo, err := discover(base, *model, *embName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdcload:", err)
+		os.Exit(1)
+	}
+	if *embedFrac > 0 && geo.inShape == nil {
+		fmt.Fprintln(os.Stderr, "hdcload: -embed-frac set but the server registers no embedder")
+		os.Exit(1)
+	}
+
+	// Pre-marshal the body pool: the offering loop must cost scheduling
+	// plus one HTTP round trip, nothing else.
+	rng := rand.New(rand.NewSource(*seed))
+	classifyBodies := make([][]byte, *bodies)
+	for i := range classifyBodies {
+		emb := make([]float32, geo.dim)
+		for j := range emb {
+			emb[j] = rng.Float32()*2 - 1
+		}
+		classifyBodies[i] = mustJSON(map[string]any{"model": geo.model, "k": *k, "embedding": emb})
+	}
+	var embedBodies [][]byte
+	if *embedFrac > 0 {
+		n := 1
+		for _, s := range geo.inShape {
+			n *= s
+		}
+		embedBodies = make([][]byte, *bodies)
+		for i := range embedBodies {
+			in := make([]float32, n)
+			for j := range in {
+				in[j] = rng.Float32()
+			}
+			embedBodies[i] = mustJSON(map[string]any{
+				"model": geo.model, "embedder": geo.embedder, "k": *k, "input": in,
+			})
+		}
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		},
+	}
+
+	var sent, ok, shed, failed atomic.Uint64
+	var hist, embedHist lat.Hist
+	var wg sync.WaitGroup
+	fire := func(url string, body []byte, h *lat.Hist) {
+		defer wg.Done()
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		elapsed := time.Since(start)
+		if err != nil {
+			failed.Add(1)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			ok.Add(1)
+			h.Observe(elapsed)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			shed.Add(1)
+		default:
+			failed.Add(1)
+		}
+	}
+
+	// Open-loop offering: the schedule is absolute (start + cumulative
+	// exponential gaps), so sleep overshoot does not compress the offered
+	// rate, and a late wakeup fires every request the schedule owes.
+	classifyURL := base + "/v1/classify"
+	embedURL := base + "/v1/embed-classify"
+	arrivals := rand.New(rand.NewSource(*seed + 0x10ad))
+	start := time.Now()
+	deadline := start.Add(*duration)
+	next := start
+	i := 0
+	for {
+		gap := time.Duration(arrivals.ExpFloat64() / *rate * float64(time.Second))
+		next = next.Add(gap)
+		if next.After(deadline) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		sent.Add(1)
+		wg.Add(1)
+		if embedBodies != nil && arrivals.Float64() < *embedFrac {
+			go fire(embedURL, embedBodies[i%len(embedBodies)], &embedHist)
+		} else {
+			go fire(classifyURL, classifyBodies[i%len(classifyBodies)], &hist)
+		}
+		i++
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := report{
+		Target:       base,
+		Model:        geo.model,
+		K:            *k,
+		OfferedRate:  *rate,
+		AchievedRate: float64(sent.Load()) / elapsed.Seconds(),
+		DurationS:    elapsed.Seconds(),
+		Sent:         sent.Load(),
+		OK:           ok.Load(),
+		Shed:         shed.Load(),
+		Failed:       failed.Load(),
+		GoodputRPS:   float64(ok.Load()) / elapsed.Seconds(),
+		Latency:      hist.Snapshot(),
+	}
+	if sent.Load() > 0 {
+		rep.ShedRate = float64(shed.Load()) / float64(sent.Load())
+	}
+	if *embedFrac > 0 {
+		s := embedHist.Snapshot()
+		rep.EmbedLatency = &s
+	}
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "hdcload:", err)
+		os.Exit(1)
+	}
+	// A run where nothing succeeded is a failed measurement, not a report.
+	if ok.Load() == 0 {
+		fmt.Fprintln(os.Stderr, "hdcload: no request succeeded")
+		os.Exit(1)
+	}
+}
+
+// report is the JSON summary of one offered-load window. Latency
+// covers accepted (200) requests only: shed requests fail in
+// microseconds by design and would flatter the distribution.
+type report struct {
+	Target       string        `json:"target"`
+	Model        string        `json:"model"`
+	K            int           `json:"k"`
+	OfferedRate  float64       `json:"offered_rate_rps"`
+	AchievedRate float64       `json:"achieved_rate_rps"`
+	DurationS    float64       `json:"duration_s"`
+	Sent         uint64        `json:"sent"`
+	OK           uint64        `json:"ok"`
+	Shed         uint64        `json:"shed"`                    // HTTP 429: watermark load shedding
+	Failed       uint64        `json:"failed"`                  // transport errors and non-200/429 statuses
+	ShedRate     float64       `json:"shed_rate"`               // shed / sent
+	GoodputRPS   float64       `json:"goodput_rps"`             // accepted requests per second
+	Latency      lat.Snapshot  `json:"latency"`                 // accepted /v1/classify requests
+	EmbedLatency *lat.Snapshot `json:"embed_latency,omitempty"` // accepted /v1/embed-classify requests
+}
+
+// geometry is what the harness needs from the server to build valid
+// probes: the classify dimensionality and the embedder input shape.
+type geometry struct {
+	model    string
+	dim      int
+	embedder string
+	inShape  []int
+}
+
+// discover reads GET /stats and resolves the target model and embedder
+// geometry, mirroring the registry's single-registration shorthand for
+// empty names.
+func discover(base, model, embedder string) (geometry, error) {
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		return geometry{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return geometry{}, fmt.Errorf("GET /stats: status %d", resp.StatusCode)
+	}
+	var stats struct {
+		Models map[string]struct {
+			Dim int `json:"dim"`
+		} `json:"models"`
+		Embedders map[string]struct {
+			InShape []int `json:"in_shape"`
+		} `json:"embedders"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return geometry{}, fmt.Errorf("GET /stats: %v", err)
+	}
+	g := geometry{model: model, embedder: embedder}
+	if g.model == "" {
+		if len(stats.Models) != 1 {
+			return geometry{}, fmt.Errorf("-model required: server registers %d models", len(stats.Models))
+		}
+		for name := range stats.Models {
+			g.model = name
+		}
+	}
+	m, okM := stats.Models[g.model]
+	if !okM {
+		return geometry{}, fmt.Errorf("server does not register model %q", g.model)
+	}
+	g.dim = m.Dim
+	if g.embedder == "" && len(stats.Embedders) == 1 {
+		for name := range stats.Embedders {
+			g.embedder = name
+		}
+	}
+	if e, okE := stats.Embedders[g.embedder]; okE {
+		g.inShape = e.InShape
+	}
+	return g, nil
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

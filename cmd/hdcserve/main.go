@@ -35,15 +35,31 @@
 // nn.CompileQuantized) — the software twin of the paper's low-precision
 // deployment story.
 //
-// Shutdown: SIGINT or SIGTERM stops accepting new HTTP requests, drains
-// in-flight requests and pending coalescer batches within -drain, then
-// exits; a second signal aborts immediately.
+// Overload: the coalescers shed requests past the -watermark queue
+// depth (HTTP 429 + Retry-After) instead of queuing without bound, so
+// the latency of accepted requests stays bounded at any offered load;
+// -watermark 0 restores blocking backpressure. cmd/hdcload is the
+// matching open-loop harness.
+//
+// Hot reload: SIGHUP or POST /v1/reload rebuilds the class-memory
+// engines and embedders from the startup seed and atomically swaps them
+// behind the running coalescers — in-flight requests finish on the old
+// state, later requests see the new, and no request fails. In -router
+// mode only the embedders reload (the shard processes own the class
+// memory).
+//
+// Shutdown: SIGINT or SIGTERM flips /readyz to 503, stops accepting new
+// HTTP requests, drains in-flight requests and pending coalescer
+// batches within -drain, then exits; a second signal aborts
+// immediately.
 //
 // API:
 //
 //	POST /v1/classify        {"model":"binary","k":5,"embedding":[...]}
 //	POST /v1/embed-classify  {"model":"float","embedder":"resnet","k":3,"input":[...3·H·W floats...]}
+//	POST /v1/reload
 //	GET  /healthz
+//	GET  /readyz
 //	GET  /stats
 //
 // Example:
@@ -65,6 +81,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -87,6 +105,9 @@ func main() {
 		workers      = flag.Int("workers", 0, "engine shard workers per backend (0 = NumCPU)")
 		maxBatch     = flag.Int("max-batch", 32, "coalescer: flush when this many probes are pending")
 		maxDelay     = flag.Duration("max-delay", 2*time.Millisecond, "coalescer: flush at latest this long after the first pending probe")
+		minDelay     = flag.Duration("min-delay", 0, "coalescer: floor of the adaptive flush delay (0 = 100µs)")
+		watermark    = flag.Int("watermark", -1, "coalescer: shed (429) once this many requests are queued (-1 = 4×max-batch, 0 = block instead of shedding)")
+		maxInFlight  = flag.Int("max-inflight", 0, "coalescer: cap on concurrently executing engine batches (0 = 2×GOMAXPROCS when shedding is enabled)")
 		backends     = flag.String("backends", "float,binary,imc", "comma-separated backends to register (float, binary, imc)")
 		embedder     = flag.Bool("embedder", true, "register the frozen ResNet image embedder for /v1/embed-classify")
 		embedImg     = flag.Int("embed-img", 16, "embedder input image size (pixels, square)")
@@ -98,7 +119,14 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay}
+	wm := *watermark
+	if wm < 0 {
+		wm = 4 * *maxBatch
+	}
+	cfg := serve.Config{
+		MaxBatch: *maxBatch, MaxDelay: *maxDelay, MinDelay: *minDelay,
+		Watermark: wm, MaxInFlight: *maxInFlight,
+	}
 	var (
 		reg    *serve.Registry
 		router *dist.Router
@@ -131,19 +159,82 @@ func main() {
 			*classes, *dim, reg.Names(), reg.EmbedderNames(), *maxBatch, *maxDelay)
 	}
 
+	// Hot reload: rebuild the class-memory engines and embedders from the
+	// startup parameters and swap them atomically behind the running
+	// coalescers/registry. In-flight requests finish on the old state;
+	// nothing closes, so no request fails across the swap. Serialized —
+	// concurrent SIGHUP and POST /v1/reload do not interleave swaps.
+	var reloadMu sync.Mutex
+	var reloads atomic.Int64
+	reload := func() error {
+		reloadMu.Lock()
+		defer reloadMu.Unlock()
+		start := time.Now()
+		if router == nil {
+			mem := classmem.Build(*classes, *dim, *seed)
+			for _, name := range reg.Names() {
+				co, err := reg.Get(name)
+				if err != nil {
+					return err
+				}
+				eng, err := newBackendEngine(mem, name, *workers)
+				if err != nil {
+					return err
+				}
+				if err := co.SwapQuerier(eng); err != nil {
+					return err
+				}
+			}
+		}
+		if *embedder {
+			embs, err := buildEmbedders(*dim, *seed, *embedImg, *embedWidth, *precision)
+			if err != nil {
+				return err
+			}
+			for name, e := range embs {
+				if err := reg.ReplaceEmbedder(name, e); err != nil {
+					return err
+				}
+			}
+		}
+		n := reloads.Add(1)
+		log.Printf("hdcserve: reload #%d complete in %v (models %v, embedders %v)",
+			n, time.Since(start).Round(time.Millisecond), reg.Names(), reg.EmbedderNames())
+		return nil
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		reg.Close()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	srv := &http.Server{Handler: serve.NewHandler(reg)}
+	var ready atomic.Bool
+	srv := &http.Server{Handler: serve.NewHandler(reg, serve.Hooks{
+		Ready:  ready.Load,
+		Reload: reload,
+	})}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			log.Print("hdcserve: SIGHUP — reloading")
+			if err := reload(); err != nil {
+				log.Printf("hdcserve: reload failed, old state still serving: %v", err)
+			}
+		}
+	}()
+
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		sig := make(chan os.Signal, 2)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
+		// Readiness drops first so load balancers stop routing here while
+		// in-flight requests drain.
+		ready.Store(false)
 		log.Printf("hdcserve: shutting down (drain %v; second signal aborts)", *drain)
 		go func() {
 			<-sig
@@ -165,6 +256,7 @@ func main() {
 	}()
 
 	log.Printf("hdcserve: listening on %s", ln.Addr())
+	ready.Store(true)
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
@@ -181,25 +273,12 @@ func buildRegistry(classes, dim int, seed int64, workers int, backendList string
 		if name == "" {
 			continue
 		}
-		be, err := mem.Backend(name)
+		eng, err := newBackendEngine(mem, name, workers)
 		if err != nil {
 			reg.Close()
 			return nil, err
 		}
-		var opts []infer.Option
-		if workers > 0 {
-			opts = append(opts, infer.WithWorkers(workers))
-		} else if name == "imc" {
-			// Pin the tile layout so analog noise draws don't depend on
-			// the host's core count (same rationale as cmd/hdczsc).
-			opts = append(opts, infer.WithWorkers(4))
-		}
-		eng, err := infer.NewChecked(be, opts...)
-		if err != nil {
-			reg.Close()
-			return nil, err
-		}
-		if err := reg.Register(be.Name(), serve.NewCoalescer(eng, cfg)); err != nil {
+		if err := reg.Register(eng.Name(), serve.NewCoalescer(eng, cfg)); err != nil {
 			reg.Close()
 			return nil, err
 		}
@@ -208,6 +287,25 @@ func buildRegistry(classes, dim int, seed int64, workers int, backendList string
 		return nil, fmt.Errorf("no backends registered (-backends %q)", backendList)
 	}
 	return reg, nil
+}
+
+// newBackendEngine builds one backend's checked shared engine from a
+// frozen class memory — the unit of work a hot reload repeats per
+// registered model.
+func newBackendEngine(mem *classmem.Memory, name string, workers int) (*infer.Engine, error) {
+	be, err := mem.Backend(name)
+	if err != nil {
+		return nil, err
+	}
+	var opts []infer.Option
+	if workers > 0 {
+		opts = append(opts, infer.WithWorkers(workers))
+	} else if name == "imc" {
+		// Pin the tile layout so analog noise draws don't depend on
+		// the host's core count (same rationale as cmd/hdczsc).
+		opts = append(opts, infer.WithWorkers(4))
+	}
+	return infer.NewChecked(be, opts...)
 }
 
 // buildRouterRegistry connects to the shard processes in the routing
@@ -249,37 +347,49 @@ func buildRouterRegistry(path string, shardTimeout time.Duration, cfg serve.Conf
 // image batch at the serving geometry), and "both" serves the two side
 // by side from one registry so clients pick per request.
 func registerEmbedder(reg *serve.Registry, dim int, seed int64, img, width int, precision string) error {
-	if img < 8 || width < 1 {
-		return fmt.Errorf("bad embedder geometry: -embed-img %d -embed-width %d", img, width)
+	embs, err := buildEmbedders(dim, seed, img, width, precision)
+	if err != nil {
+		return err
 	}
-	if precision != "f32" && precision != "int8" && precision != "both" {
-		return fmt.Errorf("unknown -precision %q (want f32, int8, or both)", precision)
-	}
-	rng := rand.New(rand.NewSource(seed + 0x5eed))
-	enc := core.NewImageEncoder(rng, nn.MicroResNet50Config(width), dim)
-	if precision != "int8" {
-		compiled := enc.Compiled()
-		// Build the plan for the serving geometry now, so the first request
-		// pays no compile latency and a lowering problem fails startup.
-		if err := compiled.Precompile(3, img, img); err != nil {
-			return err
-		}
-		if err := reg.RegisterEmbedder("resnet",
-			serve.NewNetEmbedder("resnet", compiled, []int{3, img, img}, dim)); err != nil {
-			return err
-		}
-	}
-	if precision != "f32" {
-		quantized, err := enc.CompiledInt8(calibrationBatch(seed, img))
-		if err != nil {
-			return err
-		}
-		if err := reg.RegisterEmbedder("resnet-int8",
-			serve.NewNetEmbedder("resnet-int8", quantized, []int{3, img, img}, dim)); err != nil {
+	for name, e := range embs {
+		if err := reg.RegisterEmbedder(name, e); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// buildEmbedders compiles the embedder plans for the requested
+// precisions — shared by startup registration and hot reload (where the
+// freshly compiled plans replace the registered ones atomically).
+func buildEmbedders(dim int, seed int64, img, width int, precision string) (map[string]serve.Embedder, error) {
+	if img < 8 || width < 1 {
+		return nil, fmt.Errorf("bad embedder geometry: -embed-img %d -embed-width %d", img, width)
+	}
+	if precision != "f32" && precision != "int8" && precision != "both" {
+		return nil, fmt.Errorf("unknown -precision %q (want f32, int8, or both)", precision)
+	}
+	rng := rand.New(rand.NewSource(seed + 0x5eed))
+	enc := core.NewImageEncoder(rng, nn.MicroResNet50Config(width), dim)
+	embs := map[string]serve.Embedder{}
+	if precision != "int8" {
+		compiled := enc.Compiled()
+		// Build the plan for the serving geometry now, so the first request
+		// pays no compile latency and a lowering problem fails startup (or
+		// fails the reload, leaving the old plan serving).
+		if err := compiled.Precompile(3, img, img); err != nil {
+			return nil, err
+		}
+		embs["resnet"] = serve.NewNetEmbedder("resnet", compiled, []int{3, img, img}, dim)
+	}
+	if precision != "f32" {
+		quantized, err := enc.CompiledInt8(calibrationBatch(seed, img))
+		if err != nil {
+			return nil, err
+		}
+		embs["resnet-int8"] = serve.NewNetEmbedder("resnet-int8", quantized, []int{3, img, img}, dim)
+	}
+	return embs, nil
 }
 
 // calibrationBatch generates the representative image batch the int8

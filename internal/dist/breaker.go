@@ -1,0 +1,152 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrReplicaCondemned: the circuit breaker for a replica is open — the
+// replica failed repeatedly and is cooling off, so attempts against it
+// are skipped without spending a dial or a round trip. Surfaces only
+// when every replica of a range is condemned at once.
+var ErrReplicaCondemned = errors.New("dist: replica condemned by circuit breaker")
+
+// breaker is a per-replica circuit breaker, shared across every shard
+// range served by the same address (replica pools are address-keyed).
+// It exists to cap the cost of a dead or sick replica: without it,
+// every query's failover loop pays a full dial timeout or shard timeout
+// rediscovering the same corpse, and tail latency collapses to the
+// timeout. With it, the first Threshold consecutive failures condemn
+// the replica; subsequent queries skip it instantly and fail over,
+// while a jittered exponential cool-off schedules sparse single-probe
+// redials until one succeeds.
+//
+// States: closed (healthy, all traffic), open (condemned, all attempts
+// skipped until retryAt), half-open (cool-off expired: exactly one
+// probe attempt goes through; success closes the breaker, failure
+// re-opens it with a doubled cool-off).
+type breaker struct {
+	threshold int           // consecutive failures to condemn; <=0 disables
+	base      time.Duration // first cool-off
+	max       time.Duration // cool-off cap
+
+	mu      sync.Mutex
+	state   breakerState
+	fails   int       // consecutive failures while closed
+	cycles  int       // consecutive open cycles: backoff exponent
+	retryAt time.Time // open: when the next probe may go out
+}
+
+type breakerState int
+
+const (
+	brkClosed breakerState = iota
+	brkOpen
+	brkHalfOpen
+)
+
+func newBreaker(threshold int, base, max time.Duration) *breaker {
+	return &breaker{threshold: threshold, base: base, max: max}
+}
+
+// allow reports whether an attempt against this replica may proceed.
+// In the open state it fails fast until the cool-off deadline, then
+// admits exactly one caller as the half-open probe.
+//
+//hdc:hotpath
+func (b *breaker) allow() bool {
+	if b == nil || b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brkOpen:
+		if time.Now().Before(b.retryAt) {
+			return false
+		}
+		b.state = brkHalfOpen
+		return true // this caller is the recovery probe
+	case brkHalfOpen:
+		return false // a probe is already in flight; keep failing fast
+	default:
+		return true
+	}
+}
+
+// success records a completed round trip: the replica is healthy, the
+// breaker closes and the backoff schedule resets.
+func (b *breaker) success() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.state = brkClosed
+	b.fails = 0
+	b.cycles = 0
+	b.mu.Unlock()
+}
+
+// failure records a failed dial or round trip. The Threshold'th
+// consecutive failure — or any failed half-open probe — condemns the
+// replica for a jittered, exponentially growing cool-off.
+func (b *breaker) failure() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	switch b.state {
+	case brkHalfOpen:
+		b.trip()
+	case brkClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	case brkOpen:
+		// A straggler from an attempt that started before the trip;
+		// the clock is already running, nothing to record.
+	}
+	b.mu.Unlock()
+}
+
+// trip opens the breaker (mu held). The cool-off doubles per
+// consecutive open cycle up to max, then jitters uniformly over
+// [d/2, d] so a fleet of routers condemning the same replica does not
+// re-probe it in lockstep.
+func (b *breaker) trip() {
+	b.state = brkOpen
+	b.fails = 0
+	d := b.base << min(b.cycles, 30)
+	if d > b.max || d <= 0 {
+		d = b.max
+	}
+	if b.cycles < 30 {
+		b.cycles++
+	}
+	half := int64(d / 2)
+	if half > 0 {
+		d = time.Duration(half + rand.Int63n(half+1))
+	}
+	b.retryAt = time.Now().Add(d)
+}
+
+// condemned reports whether the breaker currently fails fast (open and
+// still cooling off). Observability only — allow() is the admission
+// decision.
+func (b *breaker) condemned() bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == brkOpen && time.Now().Before(b.retryAt)
+}
+
+//hdc:coldpath error construction for fully condemned ranges
+func errCondemned(addr string) error {
+	return fmt.Errorf("%w: %s cooling off", ErrReplicaCondemned, addr)
+}

@@ -1,0 +1,207 @@
+package dist
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/infer"
+	"repro/internal/tensor"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBreaker(3, 50*time.Millisecond, time.Second)
+
+	// Closed: failures below the threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		b.failure()
+		if !b.allow() {
+			t.Fatalf("breaker opened after %d failures, threshold 3", i+1)
+		}
+	}
+	// A success resets the consecutive count.
+	b.success()
+	b.failure()
+	b.failure()
+	if !b.allow() {
+		t.Fatal("breaker opened despite an intervening success")
+	}
+	// The third consecutive failure condemns.
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker still admitting after threshold consecutive failures")
+	}
+	if !b.condemned() {
+		t.Fatal("condemned() false while open")
+	}
+
+	// After the cool-off exactly one probe goes through; a second caller
+	// keeps failing fast while the probe is in flight.
+	deadline := time.Now().Add(2 * time.Second)
+	for !b.allow() {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never admitted a recovery probe")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if b.allow() {
+		t.Fatal("second caller admitted while the half-open probe is in flight")
+	}
+	// Probe failure re-opens with a longer cool-off.
+	before := time.Now()
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker closed after a failed probe")
+	}
+	b.mu.Lock()
+	cool := b.retryAt.Sub(before)
+	b.mu.Unlock()
+	// Second cycle: base 50ms doubled to 100ms, jittered down to ≥50ms.
+	if cool < 50*time.Millisecond {
+		t.Fatalf("second-cycle cool-off %v, want ≥ 50ms", cool)
+	}
+
+	// Probe success closes and resets the schedule.
+	deadline = time.Now().Add(2 * time.Second)
+	for !b.allow() {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never re-admitted a probe")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	b.success()
+	if !b.allow() || b.condemned() {
+		t.Fatal("breaker not closed after a successful probe")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(-1, time.Millisecond, time.Second)
+	for i := 0; i < 100; i++ {
+		b.failure()
+	}
+	if !b.allow() || b.condemned() {
+		t.Fatal("disabled breaker tripped")
+	}
+	var nilB *breaker
+	nilB.failure()
+	nilB.success()
+	if !nilB.allow() || nilB.condemned() {
+		t.Fatal("nil breaker tripped")
+	}
+}
+
+func TestBreakerBackoffCapped(t *testing.T) {
+	b := newBreaker(1, 10*time.Millisecond, 80*time.Millisecond)
+	var maxCool time.Duration
+	for i := 0; i < 40; i++ {
+		b.mu.Lock()
+		b.trip()
+		cool := time.Until(b.retryAt)
+		b.mu.Unlock()
+		if cool > maxCool {
+			maxCool = cool
+		}
+	}
+	if maxCool > 85*time.Millisecond {
+		t.Fatalf("cool-off grew to %v past the 80ms cap", maxCool)
+	}
+}
+
+// A dead preferred replica is condemned after BreakerThreshold queries:
+// later queries skip it (BreakerSkips moves, ShardCalls stops paying
+// dial attempts on it) while every query still succeeds via failover —
+// and when the replica comes back, the recovery probe readmits it.
+func TestRouterBreakerCondemnsAndRecovers(t *testing.T) {
+	const classes, d, probes = 24, 128, 4
+	rng := rand.New(rand.NewSource(31))
+	global := newFloatMemory(rng, classes, d)
+	x := tensor.New(probes, d)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*2 - 1
+	}
+	batch := infer.DenseBatch(x)
+	wantRes := infer.New(global).Query(batch, 3)
+
+	// One range, two replicas: a reserved-but-closed address first (dead
+	// on arrival), a live server second.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close() // nothing listens: dials fail fast
+	live := startServer(t, []Slab{slabFor(t, global, [2]int{0, classes})})
+
+	l := Layout{Classes: classes, Dim: d, Shards: []ShardSpec{
+		{Range: [2]int{0, classes}, Replicas: []string{deadAddr, live}},
+	}}
+	r, err := NewRouter(l, RouterConfig{
+		ShardTimeout: 2 * time.Second, DialTimeout: 200 * time.Millisecond,
+		BreakerThreshold: 2, BreakerBackoff: 200 * time.Millisecond, BreakerMaxBackoff: time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer r.Close()
+
+	check := func() {
+		res, err := r.TryQuery(batch, 3)
+		if err != nil {
+			t.Fatalf("TryQuery: %v", err)
+		}
+		for p := range res {
+			for i := range res[p].TopK {
+				if res[p].TopK[i] != wantRes[p].TopK[i] {
+					t.Fatalf("probe %d rank %d: %+v, want %+v", p, i, res[p].TopK[i], wantRes[p].TopK[i])
+				}
+			}
+		}
+	}
+	// Two queries burn the threshold on the dead replica; both succeed
+	// via failover.
+	check()
+	check()
+	if s := r.Stats(); s.BreakerSkips != 0 && s.Failed != 0 {
+		t.Fatalf("unexpected early stats %+v", s)
+	}
+	// Now the dead replica is condemned: further queries skip it.
+	callsBefore := r.Stats().ShardCalls
+	check()
+	s := r.Stats()
+	if s.BreakerSkips == 0 {
+		t.Fatalf("condemned replica was not skipped: %+v", s)
+	}
+	if got := s.ShardCalls - callsBefore; got != 1 {
+		t.Fatalf("condemned query paid %d shard calls, want 1 (live replica only)", got)
+	}
+
+	// Bring the replica back on the same address and wait out the
+	// cool-off: the recovery probe must readmit it.
+	s2, err := NewShardServer([]Slab{slabFor(t, global, [2]int{0, classes})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", deadAddr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", deadAddr, err)
+	}
+	go s2.Serve(ln)
+	defer s2.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for r.pools[deadAddr].brk.condemned() || !func() bool {
+		b := r.pools[deadAddr].brk
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return b.state == brkClosed
+	}() {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never readmitted: %+v", r.Stats())
+		}
+		check()
+		time.Sleep(20 * time.Millisecond)
+	}
+	check()
+}

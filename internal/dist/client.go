@@ -240,6 +240,7 @@ type replicaPool struct {
 	addr        string
 	size        int
 	dialTimeout time.Duration
+	brk         *breaker // per-replica circuit breaker (nil: always allow)
 
 	mu     sync.Mutex
 	conns  []*clientConn

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/infer"
+	"repro/internal/tensor"
+)
+
+// Chaos at the router layer: the preferred replica sits behind a
+// fault-injection proxy that blackholes (wedged backend → shard
+// timeouts), drops connections mid-stream (resets), and recovers.
+// Throughout, every query must return the oracle ranking — the second
+// replica absorbs the faults — and after repeated timeouts the breaker
+// must condemn the faulty path so queries stop paying the timeout.
+func TestRouterFaultInjection(t *testing.T) {
+	const classes, d, probes = 30, 64, 5
+	rng := rand.New(rand.NewSource(41))
+	global := newFloatMemory(rng, classes, d)
+	x := tensor.New(probes, d)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*2 - 1
+	}
+	batch := infer.DenseBatch(x)
+	want := infer.New(global).Query(batch, 3)
+
+	// Two replicas of one range: the preferred one behind the proxy.
+	behind := startServer(t, []Slab{slabFor(t, global, [2]int{0, classes})})
+	direct := startServer(t, []Slab{slabFor(t, global, [2]int{0, classes})})
+	proxy, err := faultnet.New(behind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	l := Layout{Classes: classes, Dim: d, Shards: []ShardSpec{
+		{Range: [2]int{0, classes}, Replicas: []string{proxy.Addr(), direct}},
+	}}
+	shardTimeout := 150 * time.Millisecond
+	r, err := NewRouter(l, RouterConfig{
+		ShardTimeout: shardTimeout, DialTimeout: time.Second,
+		BreakerThreshold: 2, BreakerBackoff: 300 * time.Millisecond, BreakerMaxBackoff: time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer r.Close()
+
+	check := func(stage string) {
+		t.Helper()
+		res, err := r.TryQuery(batch, 3)
+		if err != nil {
+			t.Fatalf("%s: TryQuery: %v", stage, err)
+		}
+		for p := range res {
+			for i := range res[p].TopK {
+				if res[p].TopK[i] != want[p].TopK[i] {
+					t.Fatalf("%s: probe %d rank %d: %+v, want %+v",
+						stage, p, i, res[p].TopK[i], want[p].TopK[i])
+				}
+			}
+		}
+	}
+
+	check("healthy")
+
+	// Wedge the preferred replica: requests vanish into the proxy, the
+	// attempt blows ShardTimeout, failover answers. Two such queries
+	// burn the breaker threshold.
+	proxy.SetBlackhole(true)
+	slowStart := time.Now()
+	check("blackholed-1")
+	check("blackholed-2")
+	if elapsed := time.Since(slowStart); elapsed < shardTimeout {
+		t.Fatalf("blackholed queries returned in %v, faster than one shard timeout %v — proxy not in path?",
+			elapsed, shardTimeout)
+	}
+	s := r.Stats()
+	if s.Failovers == 0 {
+		t.Fatalf("no failovers under blackhole: %+v", s)
+	}
+
+	// Condemned: queries now skip the wedged replica without paying the
+	// timeout.
+	fastStart := time.Now()
+	check("condemned")
+	if elapsed := time.Since(fastStart); elapsed > shardTimeout {
+		t.Fatalf("condemned-path query took %v, should skip the %v timeout", elapsed, shardTimeout)
+	}
+	if s := r.Stats(); s.BreakerSkips == 0 {
+		t.Fatalf("no breaker skips while condemned: %+v", s)
+	}
+
+	// Heal the proxy and wait out the cool-off: the recovery probe
+	// readmits the replica and queries flow through it again.
+	proxy.SetBlackhole(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for r.pools[proxy.Addr()].brk.condemned() {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never re-probed: %+v", r.Stats())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	check("recovered")
+
+	// Mid-stream resets: drop every active connection and keep
+	// querying. Redials (and failover for requests caught in flight)
+	// must keep every query correct.
+	for i := 0; i < 3; i++ {
+		proxy.DropConns()
+		check("post-reset")
+	}
+
+	// Latency injection below the timeout degrades but must not fail:
+	// the proxied replica answers late, within budget.
+	proxy.SetLatency(20 * time.Millisecond)
+	check("latency-spike")
+}

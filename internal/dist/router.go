@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/infer"
+	"repro/internal/lat"
 )
 
 // RouterConfig tunes the router's failover and pooling behavior. The
@@ -26,6 +27,17 @@ type RouterConfig struct {
 	// ConnsPerReplica sizes each replica's pipelined connection pool,
 	// default 2.
 	ConnsPerReplica int
+	// BreakerThreshold condemns a replica after this many consecutive
+	// failed attempts (dial errors, timeouts, protocol faults): further
+	// attempts skip it instantly — no dial, no timeout — until a
+	// jittered exponential cool-off admits a single recovery probe.
+	// Default 3; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerBackoff is the first cool-off after a condemnation,
+	// default 100ms. Each consecutive condemnation doubles it.
+	BreakerBackoff time.Duration
+	// BreakerMaxBackoff caps the cool-off growth, default 5s.
+	BreakerMaxBackoff time.Duration
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -38,15 +50,25 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	if c.ConnsPerReplica <= 0 {
 		c.ConnsPerReplica = 2
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerBackoff <= 0 {
+		c.BreakerBackoff = 100 * time.Millisecond
+	}
+	if c.BreakerMaxBackoff <= 0 {
+		c.BreakerMaxBackoff = 5 * time.Second
+	}
 	return c
 }
 
 // RouterStats is a snapshot of the router's serving counters.
 type RouterStats struct {
-	Queries    uint64 `json:"queries"`     // batches routed
-	ShardCalls uint64 `json:"shard_calls"` // replica round trips attempted
-	Failovers  uint64 `json:"failovers"`   // attempts that moved to another replica
-	Failed     uint64 `json:"failed"`      // batches that failed on every replica of some shard
+	Queries      uint64 `json:"queries"`       // batches routed
+	ShardCalls   uint64 `json:"shard_calls"`   // replica round trips attempted
+	Failovers    uint64 `json:"failovers"`     // attempts that moved to another replica
+	Failed       uint64 `json:"failed"`        // batches that failed on every replica of some shard
+	BreakerSkips uint64 `json:"breaker_skips"` // attempts skipped because the replica was condemned
 }
 
 // routerShard is one class-range slab and its replica connection pools
@@ -82,10 +104,12 @@ type Router struct {
 
 	closed atomic.Bool
 
-	queries    atomic.Uint64
-	shardCalls atomic.Uint64
-	failovers  atomic.Uint64
-	failed     atomic.Uint64
+	queries      atomic.Uint64
+	shardCalls   atomic.Uint64
+	failovers    atomic.Uint64
+	failed       atomic.Uint64
+	breakerSkips atomic.Uint64
+	rtt          lat.Hist // per-attempt shard round-trip latency
 }
 
 // routeScratch is one query's working set: a reply slot and encode
@@ -123,6 +147,7 @@ func NewRouter(layout Layout, cfg RouterConfig) (*Router, error) {
 		p, ok := r.pools[addr]
 		if !ok {
 			p = newReplicaPool(addr, cfg.ConnsPerReplica, cfg.DialTimeout)
+			p.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerBackoff, cfg.BreakerMaxBackoff)
 			r.pools[addr] = p
 		}
 		return p
@@ -209,11 +234,19 @@ func (r *Router) Label(c int) string { return r.labels[c] }
 // Stats snapshots the routing counters.
 func (r *Router) Stats() RouterStats {
 	return RouterStats{
-		Queries:    r.queries.Load(),
-		ShardCalls: r.shardCalls.Load(),
-		Failovers:  r.failovers.Load(),
-		Failed:     r.failed.Load(),
+		Queries:      r.queries.Load(),
+		ShardCalls:   r.shardCalls.Load(),
+		Failovers:    r.failovers.Load(),
+		Failed:       r.failed.Load(),
+		BreakerSkips: r.breakerSkips.Load(),
 	}
+}
+
+// LatencySnapshots exposes the router's stage timings through the
+// serve layer's /stats endpoint (matched there by interface assertion,
+// so serve never imports dist).
+func (r *Router) LatencySnapshots() map[string]lat.Snapshot {
+	return map[string]lat.Snapshot{"shard_rtt": r.rtt.Snapshot()}
 }
 
 // Close tears down every pooled connection. In-flight queries fail.
@@ -344,23 +377,39 @@ func (r *Router) callShard(s *routerShard, batch *infer.Batch, k int, out *shard
 	}
 	var lastErr error
 	for a := 0; a < attempts; a++ {
+		p := s.pools[a]
+		// Circuit breaker: a condemned replica costs nothing — no dial,
+		// no timeout — the attempt moves straight to the next replica.
+		if !p.brk.allow() {
+			r.breakerSkips.Add(1)
+			if lastErr == nil {
+				lastErr = errCondemned(p.addr)
+			}
+			continue
+		}
 		if a > 0 {
 			r.failovers.Add(1)
 		}
 		r.shardCalls.Add(1)
-		conn, err := s.pools[a].get()
+		conn, err := p.get()
 		if err != nil {
+			p.brk.failure()
 			lastErr = err
 			continue
 		}
+		start := time.Now()
 		b, err := conn.roundTrip(*buf, s.base, kk, r.rep, batch, r.cfg.ShardTimeout, out)
+		r.rtt.Observe(time.Since(start))
 		*buf = b
 		if err == nil {
 			if out.n != batch.Len() {
+				p.brk.failure()
 				return errReplyCount(out.n, batch.Len())
 			}
+			p.brk.success()
 			return nil
 		}
+		p.brk.failure()
 		lastErr = err
 	}
 	return lastErr

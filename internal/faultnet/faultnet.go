@@ -1,0 +1,182 @@
+// Package faultnet is a fault-injection TCP proxy for chaos testing
+// the serving stack: it sits between a client (the dist router, an
+// HTTP caller) and a real backend and injects the failure modes
+// production networks produce — added latency, wedged (blackholed)
+// connections that accept bytes and never answer, and abrupt
+// connection resets — all switchable at runtime while traffic flows.
+//
+// The package exists so robustness tests exercise the real network
+// stack end to end: the router's timeouts, the circuit breaker's
+// condemnation and recovery, and the coalescer's shedding are all
+// driven through genuine sockets rather than mocked interfaces.
+// Test-support code: nothing here is on a serving hot path.
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed: the proxy has been shut down.
+var ErrClosed = errors.New("faultnet: proxy closed")
+
+// Proxy forwards TCP connections to a fixed target, injecting the
+// currently configured faults. All knobs are safe to flip concurrently
+// with live traffic.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	latency   atomic.Int64 // ns added before forwarding each chunk toward the target
+	blackhole atomic.Bool  // swallow all bytes in both directions
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{} // both legs of every active session
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a proxy on a fresh loopback port forwarding to target.
+func New(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: target, ln: ln, conns: map[net.Conn]struct{}{}}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — what the client should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetLatency injects d of extra latency on each chunk forwarded toward
+// the target (a one-way delay, so round trips grow by at least d).
+// Zero restores transparent forwarding.
+func (p *Proxy) SetLatency(d time.Duration) { p.latency.Store(int64(d)) }
+
+// SetBlackhole wedges the proxy: established and new connections stay
+// open but no byte crosses in either direction — the shape of a
+// backend that accepted the request and will never answer. False
+// restores forwarding for traffic after the flip (bytes swallowed
+// while wedged are gone, as they would be on a real stuck middlebox).
+func (p *Proxy) SetBlackhole(on bool) { p.blackhole.Store(on) }
+
+// DropConns abruptly closes every active session, both legs — the
+// shape of a midstream connection reset. The listener keeps accepting,
+// so clients that redial reconnect immediately.
+func (p *Proxy) DropConns() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Close shuts the listener and every active session down.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.DropConns()
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.wg.Add(1)
+		go p.session(client)
+	}
+}
+
+// track registers a conn for DropConns/Close; returns false (and
+// closes it) when the proxy is already shut down.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+// session pumps one client connection to the target and back.
+func (p *Proxy) session(client net.Conn) {
+	defer p.wg.Done()
+	if !p.track(client) {
+		return
+	}
+	defer p.untrack(client)
+	server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	if !p.track(server) {
+		return
+	}
+	defer p.untrack(server)
+
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	go func() { defer pumps.Done(); p.pump(server, client, true) }()
+	go func() { defer pumps.Done(); p.pump(client, server, false) }()
+	pumps.Wait()
+}
+
+// pump copies src→dst, applying the injected faults. delayed marks the
+// client→target direction, the one that pays the injected latency.
+// Either side closing (or DropConns) ends the pump; closing both conns
+// via the deferred untrack tears the whole session down.
+func (p *Proxy) pump(dst, src net.Conn, delayed bool) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if p.blackhole.Load() {
+				continue // swallow; the connection stays open and silent
+			}
+			if delayed {
+				if d := time.Duration(p.latency.Load()); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			// Half-close propagation keeps request/response protocols live.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}

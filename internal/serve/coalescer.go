@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/hdc"
 	"repro/internal/infer"
+	"repro/internal/lat"
 	"repro/internal/tensor"
 )
 
@@ -29,7 +30,9 @@ type request struct {
 	dense  []float32
 	packed *hdc.Binary
 	k      int
-	out    chan reply // buffered (1): the flusher never blocks on a gone caller
+	ctx    context.Context // caller's deadline, checked again at drain
+	enq    time.Time       // admission time: queue-wait stage timing
+	out    chan reply      // buffered (1): the flusher never blocks on a gone caller
 }
 
 type reply struct {
@@ -37,54 +40,101 @@ type reply struct {
 	err error
 }
 
+// querierBox wraps the swappable querier behind one pointer so a hot
+// reload can atomically publish a new engine/router while in-flight
+// batches finish on the old one.
+type querierBox struct{ q Querier }
+
 // Coalescer merges single-probe Classify calls into engine batches under
-// a MaxBatch/MaxDelay policy and demultiplexes the per-probe results
-// back to the waiting callers. One goroutine owns admission; each
-// flushed batch executes on its own goroutine against the shared
+// a MaxBatch/adaptive-delay policy and demultiplexes the per-probe
+// results back to the waiting callers. One goroutine owns admission;
+// each flushed batch executes on its own goroutine against the shared
 // concurrency-safe Querier — a local infer.Engine or a dist.Router over
 // shard processes — so a slow batch never blocks admission of the next.
+//
+// Overload behavior: with Config.Watermark set, a request arriving
+// while the admission queue already holds Watermark undispatched probes
+// is shed immediately with ErrOverloaded (never queued, never executed),
+// keeping the queue depth — and therefore the queueing latency of every
+// accepted request — bounded no matter the offered load. Requests whose
+// caller context is already done when their batch drains are dropped
+// before any engine/shard work is spent on them.
 type Coalescer struct {
-	q        Querier
+	cur      atomic.Pointer[querierBox]
 	cfg      Config
 	needs    infer.Representation
 	dim      int
 	reqs     chan *request
 	loopDone chan struct{}
 
-	mu     sync.RWMutex // guards closed vs. senders on reqs
-	closed bool
-	exec   sync.WaitGroup // in-flight batch executions
-	asm    sync.Pool      // *batchScratch: pooled input-assembly buffers
+	mu        sync.RWMutex // guards closed vs. senders on reqs
+	closed    bool
+	exec      sync.WaitGroup // in-flight batch executions
+	execSlots chan struct{}  // bounds concurrent executions (nil: unbounded)
+	asm       sync.Pool      // *batchScratch: pooled input-assembly buffers
 
 	// serving counters (atomics; largestBatch guarded by statMu)
 	requests, rejected          atomic.Uint64
+	shed, cancelled             atomic.Uint64
 	batches, full, timer, drain atomic.Uint64
 	probesServed                atomic.Uint64
 	inFlight                    atomic.Int64
+	depth                       atomic.Int64 // admitted, not yet dispatched
+	curDelay                    atomic.Int64 // last armed flush delay (ns)
 	statMu                      sync.Mutex
 	largestBatch                int
+
+	// per-stage latency histograms (lock-free; see internal/lat)
+	queueWait lat.Hist
+	readout   lat.Hist
 }
 
 // NewCoalescer wraps a shared querier — a local infer.Engine or a
 // dist.Router — with a micro-batching front. The zero Config takes the
-// defaults (MaxBatch 32, MaxDelay 2ms).
+// defaults (MaxBatch 32, MaxDelay 2ms, blocking backpressure).
 func NewCoalescer(q Querier, cfg Config) *Coalescer {
 	cfg = cfg.withDefaults()
 	c := &Coalescer{
-		q:        q,
 		cfg:      cfg,
 		needs:    q.Requires(),
 		dim:      q.Dim(),
 		reqs:     make(chan *request, cfg.Queue),
 		loopDone: make(chan struct{}),
 	}
+	c.cur.Store(&querierBox{q: q})
+	c.curDelay.Store(int64(cfg.MaxDelay))
+	if cfg.MaxInFlight > 0 {
+		c.execSlots = make(chan struct{}, cfg.MaxInFlight)
+	}
 	c.asm.New = func() any { return new(batchScratch) }
 	go c.loop()
 	return c
 }
 
-// Querier returns the underlying shared querier.
-func (c *Coalescer) Querier() Querier { return c.q }
+// Querier returns the underlying shared querier (the current one, under
+// hot reload).
+func (c *Coalescer) Querier() Querier { return c.cur.Load().q }
+
+// SwapQuerier atomically replaces the querier behind the coalescer —
+// the hot-reload path: batches dispatched before the swap finish on the
+// old querier, batches dispatched after it run on the new one, and no
+// request ever observes a half-swapped state. The new querier must
+// consume the same probe representation at the same dimensionality
+// (admission normalized every queued probe to that geometry already);
+// anything else returns ErrIncompatibleSwap and leaves the old querier
+// serving. The class count may differ — that is live enrollment.
+func (c *Coalescer) SwapQuerier(q Querier) error {
+	if q.Dim() != c.dim {
+		return fmt.Errorf("%w: new querier has d=%d, coalescer admits d=%d",
+			ErrIncompatibleSwap, q.Dim(), c.dim)
+	}
+	if q.Requires() != c.needs {
+		return fmt.Errorf("%w: new querier consumes representation %v, coalescer admits %v",
+			ErrIncompatibleSwap, q.Requires(), c.needs)
+	}
+	c.cur.Store(&querierBox{q: q})
+	return nil
+}
 
 // Config returns the effective admission policy.
 func (c *Coalescer) Config() Config { return c.cfg }
@@ -95,20 +145,40 @@ func (c *Coalescer) Config() Config { return c.cfg }
 // count is clamped. Classify is safe for any number of concurrent
 // callers — that is the point: callers bring single probes, the
 // coalescer recovers batched throughput underneath them.
+//
+// Under overload (Config.Watermark exceeded) Classify fails fast with
+// ErrOverloaded instead of queuing.
 func (c *Coalescer) Classify(ctx context.Context, p Probe, k int) (infer.Result, error) {
 	if k < 1 {
 		k = 1
 	}
-	r := &request{dense: p.Dense, packed: p.Packed, k: k, out: make(chan reply, 1)}
+	r := &request{dense: p.Dense, packed: p.Packed, k: k, ctx: ctx, out: make(chan reply, 1)}
 	if err := c.admitProbe(r); err != nil {
 		c.rejected.Add(1)
 		return infer.Result{}, err
 	}
 
+	// Load shedding: bound the admission queue depth. The increment is
+	// optimistic — concurrent arrivals may transiently overshoot the
+	// watermark by the number of in-flight Classify calls racing here,
+	// each of which immediately backs out — so the steady-state depth
+	// the drain loop observes never exceeds the watermark.
+	if c.cfg.Watermark > 0 {
+		if c.depth.Add(1) > int64(c.cfg.Watermark) {
+			c.depth.Add(-1)
+			c.shed.Add(1)
+			return infer.Result{}, ErrOverloaded
+		}
+	} else {
+		c.depth.Add(1)
+	}
+	r.enq = time.Now()
+
 	// Enqueue under a read lock so Close cannot close reqs mid-send.
 	c.mu.RLock()
 	if c.closed {
 		c.mu.RUnlock()
+		c.depth.Add(-1)
 		c.rejected.Add(1)
 		return infer.Result{}, ErrClosed
 	}
@@ -117,6 +187,7 @@ func (c *Coalescer) Classify(ctx context.Context, p Probe, k int) (infer.Result,
 		c.mu.RUnlock()
 	case <-ctx.Done():
 		c.mu.RUnlock()
+		c.depth.Add(-1)
 		c.rejected.Add(1)
 		return infer.Result{}, ctx.Err()
 	}
@@ -126,8 +197,9 @@ func (c *Coalescer) Classify(ctx context.Context, p Probe, k int) (infer.Result,
 	case rep := <-r.out:
 		return rep.res, rep.err
 	case <-ctx.Done():
-		// The flusher will still deliver into the buffered channel; the
-		// reply is simply dropped.
+		// The flusher delivers into the buffered channel (or drops the
+		// request at drain time, now that it can see ctx is done); either
+		// way the reply is simply discarded.
 		return infer.Result{}, ctx.Err()
 	}
 }
@@ -144,11 +216,11 @@ func (c *Coalescer) admitProbe(r *request) error {
 	case infer.RepDense:
 		if r.dense == nil {
 			return fmt.Errorf("%w: backend %q consumes dense probes, none provided",
-				ErrBadProbe, c.q.Name())
+				ErrBadProbe, c.Querier().Name())
 		}
 		if len(r.dense) != c.dim {
 			return fmt.Errorf("%w: embedding has %d components, backend %q expects %d",
-				ErrBadProbe, len(r.dense), c.q.Name(), c.dim)
+				ErrBadProbe, len(r.dense), c.Querier().Name(), c.dim)
 		}
 		r.dense = append([]float32(nil), r.dense...)
 	case infer.RepPacked:
@@ -158,12 +230,12 @@ func (c *Coalescer) admitProbe(r *request) error {
 			}
 			if len(r.dense) != c.dim {
 				return fmt.Errorf("%w: embedding has %d components, backend %q expects %d",
-					ErrBadProbe, len(r.dense), c.q.Name(), c.dim)
+					ErrBadProbe, len(r.dense), c.Querier().Name(), c.dim)
 			}
 			r.packed = infer.PackSign(tensor.FromSlice(r.dense, 1, c.dim))[0]
 		} else if r.packed.Dim() != c.dim {
 			return fmt.Errorf("%w: packed probe has dim %d, backend %q expects %d",
-				ErrBadProbe, r.packed.Dim(), c.q.Name(), c.dim)
+				ErrBadProbe, r.packed.Dim(), c.Querier().Name(), c.dim)
 		} else {
 			r.packed = r.packed.Clone()
 		}
@@ -186,20 +258,26 @@ func (c *Coalescer) Close() {
 	c.exec.Wait()
 }
 
-// Stats snapshots the serving counters.
+// Stats snapshots the serving counters and stage histograms.
 func (c *Coalescer) Stats() Stats {
 	s := Stats{
 		Requests:     c.requests.Load(),
 		Rejected:     c.rejected.Load(),
+		Shed:         c.shed.Load(),
+		Cancelled:    c.cancelled.Load(),
 		Batches:      c.batches.Load(),
 		FullFlushes:  c.full.Load(),
 		TimerFlushes: c.timer.Load(),
 		DrainFlushes: c.drain.Load(),
 		InFlight:     c.inFlight.Load(),
+		QueueDepth:   c.depth.Load(),
+		CurDelay:     time.Duration(c.curDelay.Load()).String(),
 	}
 	if s.Batches > 0 {
 		s.MeanBatch = float64(c.probesServed.Load()) / float64(s.Batches)
 	}
+	qw, ro := c.queueWait.Snapshot(), c.readout.Snapshot()
+	s.QueueWait, s.Readout = &qw, &ro
 	c.statMu.Lock()
 	s.LargestBatch = c.largestBatch
 	c.statMu.Unlock()
@@ -213,13 +291,56 @@ const (
 	flushDrain
 )
 
+// rateEWMAAlpha weights the inter-arrival EWMA the adaptive delay is
+// computed from: ~0.2 reacts within a handful of requests without
+// whipsawing on a single burst.
+const rateEWMAAlpha = 0.2
+
 // loop owns admission: it gathers requests until the batch fills or the
-// delay deadline fires, then hands the batch to an executor goroutine.
+// adaptive delay deadline fires, then hands the batch to an executor
+// goroutine.
+//
+// The flush timer adapts to the observed arrival rate: an EWMA over
+// inter-arrival intervals estimates how long the current batch needs to
+// fill, and the timer is armed to that estimate clamped to
+// [MinDelay, MaxDelay]. Under heavy load the estimate is tiny — a lone
+// probe is not held hostage to a MaxDelay that traffic will beat anyway,
+// and when traffic stalls mid-batch the short timer bounds the damage.
+// When idle the estimate is huge and clamps to MaxDelay, the legacy
+// behavior. MaxDelay therefore stays the hard admission-latency bound.
 func (c *Coalescer) loop() {
 	defer close(c.loopDone)
 	pending := make([]*request, 0, c.cfg.MaxBatch)
 	var delay *time.Timer
 	var deadline <-chan time.Time
+
+	var lastArrival time.Time
+	ewmaGap := float64(c.cfg.MaxDelay) // pessimistic start: behave like the fixed policy
+
+	observe := func(r *request) {
+		if !lastArrival.IsZero() {
+			gap := float64(r.enq.Sub(lastArrival))
+			if gap < 0 {
+				gap = 0
+			}
+			ewmaGap += rateEWMAAlpha * (gap - ewmaGap)
+		}
+		lastArrival = r.enq
+	}
+	adaptiveDelay := func() time.Duration {
+		remaining := c.cfg.MaxBatch - len(pending)
+		if remaining < 1 {
+			remaining = 1
+		}
+		d := time.Duration(ewmaGap * float64(remaining))
+		if d < c.cfg.MinDelay {
+			d = c.cfg.MinDelay
+		}
+		if d > c.cfg.MaxDelay {
+			d = c.cfg.MaxDelay
+		}
+		return d
+	}
 
 	disarm := func() {
 		if delay != nil {
@@ -245,6 +366,7 @@ func (c *Coalescer) loop() {
 				flush(flushDrain)
 				return
 			}
+			observe(r)
 			pending = append(pending, r)
 			// Greedy drain: pull everything already queued without going
 			// back through the scheduler, up to the batch cap.
@@ -255,6 +377,7 @@ func (c *Coalescer) loop() {
 						flush(flushDrain)
 						return
 					}
+					observe(r)
 					pending = append(pending, r)
 					continue
 				default:
@@ -264,7 +387,9 @@ func (c *Coalescer) loop() {
 			if len(pending) >= c.cfg.MaxBatch {
 				flush(flushFull)
 			} else if delay == nil {
-				delay = time.NewTimer(c.cfg.MaxDelay)
+				d := adaptiveDelay()
+				c.curDelay.Store(int64(d))
+				delay = time.NewTimer(d)
 				deadline = delay.C
 			}
 		case <-deadline:
@@ -275,8 +400,16 @@ func (c *Coalescer) loop() {
 }
 
 // dispatch records stats for a flushed batch and executes it on its own
-// goroutine against the shared engine.
+// goroutine against the shared engine. With MaxInFlight set, it blocks
+// the admission loop until an execution slot frees — that is the
+// backpressure chain that turns a slow backend into queue depth (and
+// queue depth, at the watermark, into shedding) instead of into an
+// unbounded pile of concurrent batches.
 func (c *Coalescer) dispatch(batch []*request, reason int) {
+	if c.execSlots != nil {
+		c.execSlots <- struct{}{}
+	}
+	c.depth.Add(-int64(len(batch)))
 	c.batches.Add(1)
 	c.probesServed.Add(uint64(len(batch)))
 	switch reason {
@@ -298,18 +431,40 @@ func (c *Coalescer) dispatch(batch []*request, reason int) {
 	go func() {
 		defer c.exec.Done()
 		defer c.inFlight.Add(-1)
+		if c.execSlots != nil {
+			defer func() { <-c.execSlots }()
+		}
 		c.execute(batch)
 	}()
 }
 
-// execute assembles the engine batch in the backend's representation,
-// queries at the largest k any caller asked for, and demultiplexes the
-// per-probe results.
+// execute drops requests whose caller is already gone, assembles the
+// engine batch in the backend's representation, queries at the largest
+// k any caller asked for, and demultiplexes the per-probe results.
 //
 //hdc:hotpath
 func (c *Coalescer) execute(batch []*request) {
-	kmax := 1
+	// Deadline propagation: a request whose context expired while it
+	// waited in the queue gets no embed/readout/shard work spent on it —
+	// its caller has already returned. Filter in place before sizing the
+	// engine batch.
+	now := time.Now()
+	live := batch[:0]
 	for _, r := range batch {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			c.cancelled.Add(1)
+			r.out <- reply{err: r.ctx.Err()}
+			continue
+		}
+		c.queueWait.Observe(now.Sub(r.enq))
+		live = append(live, r) //hdc:allow hotpathalloc live filters batch in place, so capacity is batch's backing array
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	kmax := 1
+	for _, r := range live {
 		if r.k > kmax {
 			kmax = r.k
 		}
@@ -318,33 +473,35 @@ func (c *Coalescer) execute(batch []*request) {
 	bs := c.asm.Get().(*batchScratch)
 	var eb *infer.Batch
 	if c.needs == infer.RepPacked {
-		bs.grow(len(batch), 0)
-		packed := bs.packed[:len(batch)]
-		for i, r := range batch {
+		bs.grow(len(live), 0)
+		packed := bs.packed[:len(live)]
+		for i, r := range live {
 			packed[i] = r.packed
 		}
 		eb = infer.PackedBatch(packed)
 	} else {
-		bs.grow(0, len(batch)*c.dim)
-		dense := tensor.FromSlice(bs.flat[:len(batch)*c.dim], len(batch), c.dim)
-		for i, r := range batch {
+		bs.grow(0, len(live)*c.dim)
+		dense := tensor.FromSlice(bs.flat[:len(live)*c.dim], len(live), c.dim)
+		for i, r := range live {
 			copy(dense.Row(i), r.dense)
 		}
 		eb = infer.DenseBatch(dense)
 	}
 
-	results, err := c.q.TryQuery(eb, kmax)
+	start := time.Now()
+	results, err := c.cur.Load().q.TryQuery(eb, kmax)
+	c.readout.Observe(time.Since(start))
 	// The querier reads the batch synchronously and result storage is
 	// fresh (TryQuery), so the assembly buffers are reusable as soon as
 	// the call returns — before the replies are even delivered.
 	c.putScratch(bs)
 	if err != nil {
-		for _, r := range batch {
+		for _, r := range live {
 			r.out <- reply{err: err}
 		}
 		return
 	}
-	for i, r := range batch {
+	for i, r := range live {
 		top := results[i].TopK
 		if r.k < len(top) {
 			top = top[:r.k]

@@ -1,13 +1,18 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"mime"
 	"net/http"
 	"slices"
+	"strconv"
+	"sync"
+	"time"
 
 	"repro/internal/infer"
+	"repro/internal/lat"
 	"repro/internal/tensor"
 )
 
@@ -84,29 +89,107 @@ type healthResponse struct {
 // modelStats is one model's entry in the GET /stats reply. Workers is
 // the in-process engine's shard-worker count; Shards is the distributed
 // router's shard-range count — whichever the model's querier reports.
+// QuerierLat carries any named latency histograms the querier itself
+// exports (the distributed router reports its shard round-trip times
+// as "shard_rtt").
 type modelStats struct {
-	Backend  string `json:"backend"`
-	Classes  int    `json:"classes"`
-	Dim      int    `json:"dim"`
-	Workers  int    `json:"workers,omitempty"`
-	Shards   int    `json:"shards,omitempty"`
-	MaxBatch int    `json:"max_batch"`
-	MaxDelay string `json:"max_delay"`
+	Backend    string                  `json:"backend"`
+	Classes    int                     `json:"classes"`
+	Dim        int                     `json:"dim"`
+	Workers    int                     `json:"workers,omitempty"`
+	Shards     int                     `json:"shards,omitempty"`
+	MaxBatch   int                     `json:"max_batch"`
+	MaxDelay   string                  `json:"max_delay"`
+	Watermark  int                     `json:"watermark,omitempty"`
+	QuerierLat map[string]lat.Snapshot `json:"querier_lat,omitempty"`
 	Stats
+}
+
+// embedderStats is one embedder's entry in the GET /stats reply: its
+// geometry and the server-side embed-stage latency histogram.
+type embedderStats struct {
+	InShape []int         `json:"in_shape"`
+	OutDim  int           `json:"out_dim"`
+	Embed   *lat.Snapshot `json:"embed,omitempty"`
+}
+
+// statsResponse is the GET /stats reply: per-model coalescer counters
+// and stage histograms (queue wait, readout) beside per-embedder embed
+// timings — the internal decomposition of the external latency
+// cmd/hdcload measures.
+type statsResponse struct {
+	Models    map[string]modelStats    `json:"models"`
+	Embedders map[string]embedderStats `json:"embedders,omitempty"`
+}
+
+// Hooks lets the process embedding the handler surface its lifecycle:
+// readiness (load balancers poll /readyz and stop routing on 503) and
+// hot reload (POST /v1/reload swaps model state without a restart).
+// The zero value serves a process that is always ready and cannot
+// reload.
+type Hooks struct {
+	// Ready reports whether the process should receive traffic. nil
+	// means always ready. /readyz returns 503 while it reports false —
+	// during startup (models still compiling) and during the shutdown
+	// drain window.
+	Ready func() bool
+	// Reload atomically swaps the served model state (new CompiledNet,
+	// new class memory) and returns when the swap is published. nil
+	// disables POST /v1/reload (501).
+	Reload func() error
+}
+
+// embedTimers aggregates per-embedder embed-stage latency. Keyed by
+// embedder name so histogram continuity survives a hot reload that
+// replaces the embedder instance behind the name.
+type embedTimers struct {
+	mu sync.Mutex
+	m  map[string]*lat.Hist
+}
+
+func (et *embedTimers) get(name string) *lat.Hist {
+	et.mu.Lock()
+	defer et.mu.Unlock()
+	h, ok := et.m[name]
+	if !ok {
+		h = &lat.Hist{}
+		et.m[name] = h
+	}
+	return h
+}
+
+func (et *embedTimers) snapshot(name string) *lat.Snapshot {
+	et.mu.Lock()
+	h, ok := et.m[name]
+	et.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	s := h.Snapshot()
+	return &s
 }
 
 // NewHandler builds the HTTP JSON API over a registry:
 //
 //	POST /v1/classify        — classify one embedding against a named model
 //	POST /v1/embed-classify  — embed one raw input, then classify it
+//	POST /v1/reload          — hot-swap model state (wired via Hooks.Reload)
 //	GET  /healthz            — liveness plus registered model/embedder names
-//	GET  /stats              — per-model coalescer counters
+//	GET  /readyz             — readiness: 503 during startup and drain
+//	GET  /stats              — per-model coalescer counters + stage histograms
 //
 // Every handler is registered with a method-specific pattern, so a
 // wrong-method request gets a uniform 405 from the mux. POST bodies are
 // size-capped and must be JSON (an explicit non-JSON Content-Type is
-// rejected with 415).
-func NewHandler(reg *Registry) http.Handler {
+// rejected with 415). Overloaded coalescers surface as 429 with a
+// Retry-After hint. At most one Hooks value wires the embedding
+// process's readiness and reload callbacks in.
+func NewHandler(reg *Registry, hookList ...Hooks) http.Handler {
+	var hooks Hooks
+	if len(hookList) > 0 {
+		hooks = hookList[0]
+	}
+	embedTimes := &embedTimers{m: make(map[string]*lat.Hist)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
 		var req ClassifyRequest
@@ -158,8 +241,16 @@ func NewHandler(reg *Registry) http.Handler {
 				ErrBadInput.Error()+": input element count does not match the embedder's input shape")
 			return
 		}
+		// Deadline propagation: the embed stage is the expensive half of
+		// this endpoint — do not spend it on a caller that already hung up.
+		if r.Context().Err() != nil {
+			httpError(w, statusClientClosedRequest, "client went away before embedding")
+			return
+		}
 		x := tensor.FromSlice(req.Input, append([]int{1}, shape...)...)
+		embedStart := time.Now()
 		probe, err := emb.Embed(x)
+		embedTimes.get(emb.Name()).Observe(time.Since(embedStart))
 		if err != nil {
 			// Input geometry was validated above, so a failure here is a
 			// server-side embedder problem unless it says otherwise.
@@ -181,13 +272,36 @@ func NewHandler(reg *Registry) http.Handler {
 			TopK:     toHits(res.TopK),
 		})
 	})
+	mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
+		if hooks.Reload == nil {
+			httpError(w, http.StatusNotImplemented, "this deployment has no reload hook")
+			return
+		}
+		if err := hooks.Reload(); err != nil {
+			httpError(w, http.StatusInternalServerError, "reload failed: "+err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "reloaded"})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness only: the process is up and the mux answers. Routing
+		// decisions belong to /readyz.
 		writeJSON(w, http.StatusOK, healthResponse{
 			Status: "ok", Models: reg.Names(), Embedders: reg.EmbedderNames(),
 		})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if hooks.Ready != nil && !hooks.Ready() {
+			httpError(w, http.StatusServiceUnavailable, "not ready")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		out := make(map[string]modelStats)
+		out := statsResponse{
+			Models:    make(map[string]modelStats),
+			Embedders: make(map[string]embedderStats),
+		}
 		for _, name := range reg.Names() {
 			co, err := reg.Get(name)
 			if err != nil {
@@ -195,12 +309,13 @@ func NewHandler(reg *Registry) http.Handler {
 			}
 			q := co.Querier()
 			ms := modelStats{
-				Backend:  q.Name(),
-				Classes:  q.Classes(),
-				Dim:      q.Dim(),
-				MaxBatch: co.Config().MaxBatch,
-				MaxDelay: co.Config().MaxDelay.String(),
-				Stats:    co.Stats(),
+				Backend:   q.Name(),
+				Classes:   q.Classes(),
+				Dim:       q.Dim(),
+				MaxBatch:  co.Config().MaxBatch,
+				MaxDelay:  co.Config().MaxDelay.String(),
+				Watermark: co.Config().Watermark,
+				Stats:     co.Stats(),
 			}
 			if w, ok := q.(interface{ Workers() int }); ok {
 				ms.Workers = w.Workers()
@@ -208,12 +323,33 @@ func NewHandler(reg *Registry) http.Handler {
 			if s, ok := q.(interface{ Shards() int }); ok {
 				ms.Shards = s.Shards()
 			}
-			out[name] = ms
+			if ls, ok := q.(interface {
+				LatencySnapshots() map[string]lat.Snapshot
+			}); ok {
+				ms.QuerierLat = ls.LatencySnapshots()
+			}
+			out.Models[name] = ms
+		}
+		for _, name := range reg.EmbedderNames() {
+			emb, err := reg.Embedder(name)
+			if err != nil {
+				continue
+			}
+			out.Embedders[name] = embedderStats{
+				InShape: emb.InShape(),
+				OutDim:  emb.OutDim(),
+				Embed:   embedTimes.snapshot(name),
+			}
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
 	return mux
 }
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the server produced a response. Nothing reads the
+// reply (the client is gone) — the code exists for the access log.
+const statusClientClosedRequest = 499
 
 // decodeJSON enforces the shared POST-body policy — JSON content type,
 // size cap, well-formed body — writing the error response itself and
@@ -240,14 +376,27 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool
 	return true
 }
 
+// retryAfterSeconds is the Retry-After hint sent with 429 responses: a
+// coalescer sheds because its queue already holds more than a watermark
+// of work, which drains within a few MaxDelay windows — one second is a
+// safely conservative client backoff at any sane configuration.
+const retryAfterSeconds = 1
+
 // classifyError maps Coalescer.Classify errors onto status codes,
-// shared by both classification endpoints.
+// shared by both classification endpoints. ErrOverloaded is the load
+// -shedding contract: 429 plus Retry-After so a well-behaved client
+// backs off instead of hammering a saturated queue.
 func classifyError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrBadProbe):
 		httpError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		httpError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrClosed):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		httpError(w, statusClientClosedRequest, err.Error())
 	default:
 		httpError(w, http.StatusInternalServerError, err.Error())
 	}

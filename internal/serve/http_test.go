@@ -148,18 +148,26 @@ func TestHTTPHealthAndStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats map[string]modelStats
+	var stats statsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	for _, model := range []string{"float", "binary"} {
-		s, ok := stats[model]
+		s, ok := stats.Models[model]
 		if !ok {
 			t.Fatalf("stats missing model %q: %v", model, stats)
 		}
 		if s.Classes != classes || s.Dim != d || s.Requests != 1 || s.Batches != 1 {
 			t.Fatalf("%s stats = %+v", model, s)
+		}
+		// The stage decomposition must be present and see the request.
+		if s.QueueWait == nil || s.Readout == nil {
+			t.Fatalf("%s stats missing stage histograms: %+v", model, s)
+		}
+		if s.QueueWait.Count != 1 || s.Readout.Count != 1 {
+			t.Fatalf("%s stage counts queue=%d readout=%d, want 1/1",
+				model, s.QueueWait.Count, s.Readout.Count)
 		}
 	}
 }

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/infer"
+)
+
+// slowQuerier wraps a real engine with an injectable per-batch delay
+// and counters — the serve-side fault-injection harness: it turns a
+// microsecond-fast local engine into an arbitrarily slow backend so
+// overload, shedding, and cancellation semantics can be exercised
+// deterministically.
+type slowQuerier struct {
+	inner   Querier
+	delay   atomic.Int64 // ns injected before every TryQuery
+	batches atomic.Int64
+	probes  atomic.Int64
+}
+
+func newSlowQuerier(inner Querier, delay time.Duration) *slowQuerier {
+	s := &slowQuerier{inner: inner}
+	s.delay.Store(int64(delay))
+	return s
+}
+
+func (s *slowQuerier) TryQuery(batch *infer.Batch, k int) ([]infer.Result, error) {
+	if d := time.Duration(s.delay.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	s.batches.Add(1)
+	s.probes.Add(int64(batch.Len()))
+	return s.inner.TryQuery(batch, k)
+}
+
+func (s *slowQuerier) Name() string                   { return s.inner.Name() }
+func (s *slowQuerier) Classes() int                   { return s.inner.Classes() }
+func (s *slowQuerier) Dim() int                       { return s.inner.Dim() }
+func (s *slowQuerier) Requires() infer.Representation { return s.inner.Requires() }
+
+// Overload semantics under a deliberately slow backend: the queue fills
+// to the watermark, new requests fail fast with ErrOverloaded, the shed
+// counter moves, the observed queue depth stays bounded, and every
+// accepted request still returns the exact engine ranking. Run under
+// -race in CI.
+func TestCoalescerOverloadSheds(t *testing.T) {
+	const classes, d, probes = 11, 64, 120
+	const watermark = 16
+	f := newFixture(classes, d, probes, 21)
+	eng := infer.New(infer.NewFloatBackend(f.phi, f.labels, 1))
+	want := eng.Query(infer.DenseBatch(f.dense), 3)
+	slow := newSlowQuerier(eng, 20*time.Millisecond)
+	co := NewCoalescer(slow, Config{
+		MaxBatch: 4, MaxDelay: time.Millisecond, Watermark: watermark, MaxInFlight: 1,
+	})
+	defer co.Close()
+
+	var wg sync.WaitGroup
+	var okCount, shedCount atomic.Int64
+	errCh := make(chan error, probes)
+	for p := 0; p < probes; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			res, err := co.Classify(context.Background(), Probe{Dense: f.dense.Row(p)}, 3)
+			switch {
+			case err == nil:
+				okCount.Add(1)
+				for i := range res.TopK {
+					if res.TopK[i] != want[p].TopK[i] {
+						errCh <- errors.New("accepted request returned a wrong ranking under overload")
+						return
+					}
+				}
+			case errors.Is(err, ErrOverloaded):
+				shedCount.Add(1)
+			default:
+				errCh <- err
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	s := co.Stats()
+	if shedCount.Load() == 0 || s.Shed == 0 {
+		t.Fatalf("no shedding under overload: ok=%d shed=%d stats=%+v",
+			okCount.Load(), shedCount.Load(), s)
+	}
+	if uint64(shedCount.Load()) != s.Shed {
+		t.Fatalf("shed counter %d disagrees with callers' view %d", s.Shed, shedCount.Load())
+	}
+	if okCount.Load() == 0 {
+		t.Fatal("everything shed: the watermark should admit some requests")
+	}
+	// Every admitted probe was either served or shed — none lost.
+	if got := uint64(okCount.Load()); s.Requests != got {
+		t.Fatalf("admitted %d requests, %d callers got results", s.Requests, got)
+	}
+	// The backend only ever saw accepted probes.
+	if slow.probes.Load() != okCount.Load() {
+		t.Fatalf("backend saw %d probes, %d were accepted", slow.probes.Load(), okCount.Load())
+	}
+}
+
+// The watermark bounds the queue depth the drain loop ever observes:
+// sample Stats under sustained overload and the depth must never exceed
+// the watermark plus the transient overshoot of concurrent admissions.
+func TestCoalescerQueueDepthBounded(t *testing.T) {
+	const classes, d = 7, 64
+	const watermark = 8
+	f := newFixture(classes, d, 4, 22)
+	eng := infer.New(infer.NewFloatBackend(f.phi, f.labels, 1))
+	slow := newSlowQuerier(eng, 10*time.Millisecond)
+	co := NewCoalescer(slow, Config{MaxBatch: 2, MaxDelay: time.Millisecond, Watermark: watermark, MaxInFlight: 2})
+	defer co.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _ = co.Classify(context.Background(), Probe{Dense: f.dense.Row(0)}, 1)
+			}
+		}()
+	}
+	var maxDepth int64
+	for i := 0; i < 50; i++ {
+		if depth := co.Stats().QueueDepth; depth > maxDepth {
+			maxDepth = depth
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	// 32 concurrent callers can transiently overshoot by at most 32.
+	if maxDepth > watermark+32 {
+		t.Fatalf("queue depth reached %d with watermark %d", maxDepth, watermark)
+	}
+	if s := co.Stats(); s.Shed == 0 {
+		t.Fatalf("sustained overload never shed: %+v", s)
+	}
+}
+
+// A request whose context is cancelled while it waits in the queue is
+// dropped at drain time: the backend never sees it and the Cancelled
+// counter moves.
+func TestCoalescerDropsCancelledAtDrain(t *testing.T) {
+	const classes, d = 7, 64
+	f := newFixture(classes, d, 2, 23)
+	eng := infer.New(infer.NewFloatBackend(f.phi, f.labels, 1))
+	slow := newSlowQuerier(eng, 0)
+	// Long MaxDelay: the request sits in the pending batch long enough
+	// for the cancellation to land before the flush.
+	co := NewCoalescer(slow, Config{MaxBatch: 1024, MaxDelay: 80 * time.Millisecond})
+	defer co.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := co.Classify(ctx, Probe{Dense: f.dense.Row(0)}, 1)
+		done <- err
+	}()
+	time.Sleep(15 * time.Millisecond) // let it enqueue
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Classify err = %v", err)
+	}
+	// Wait past the flush deadline: the drain must skip the dead request.
+	deadline := time.Now().Add(2 * time.Second)
+	for co.Stats().Cancelled == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	s := co.Stats()
+	if s.Cancelled != 1 {
+		t.Fatalf("cancelled counter = %d, want 1 (%+v)", s.Cancelled, s)
+	}
+	if slow.probes.Load() != 0 {
+		t.Fatalf("backend saw %d probes for a cancelled request", slow.probes.Load())
+	}
+	// A live caller on the same coalescer still gets served.
+	if _, err := co.Classify(context.Background(), Probe{Dense: f.dense.Row(1)}, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SwapQuerier hot-swaps the backend mid-traffic: requests keep being
+// answered throughout, with zero failures, and geometry mismatches are
+// rejected with ErrIncompatibleSwap.
+func TestCoalescerSwapQuerier(t *testing.T) {
+	const classes, d, probes = 13, 128, 40
+	f := newFixture(classes, d, probes, 24)
+	engA := infer.New(infer.NewFloatBackend(f.phi, f.labels, 1))
+	engB := infer.New(infer.NewFloatBackend(f.phi, f.labels, 1), infer.WithWorkers(2))
+	want := engA.Query(infer.DenseBatch(f.dense), 2)
+	co := NewCoalescer(engA, Config{MaxBatch: 4, MaxDelay: time.Millisecond})
+	defer co.Close()
+
+	stop := make(chan struct{})
+	errCh := make(chan error, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := (w*17 + i) % probes
+				res, err := co.Classify(context.Background(), Probe{Dense: f.dense.Row(p)}, 2)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for j := range res.TopK {
+					if res.TopK[j] != want[p].TopK[j] {
+						errCh <- errors.New("ranking changed across swap")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Swap back and forth under traffic. Identical memories → identical
+	// rankings, so any disruption shows up as an error above.
+	for i := 0; i < 20; i++ {
+		var err error
+		if i%2 == 0 {
+			err = co.SwapQuerier(engB)
+		} else {
+			err = co.SwapQuerier(engA)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Geometry mismatches are rejected and leave the old querier serving.
+	f2 := newFixture(classes, d/2, 1, 25)
+	bad := infer.New(infer.NewFloatBackend(f2.phi, f2.labels, 1))
+	if err := co.SwapQuerier(bad); !errors.Is(err, ErrIncompatibleSwap) {
+		t.Fatalf("wrong-dim swap err = %v, want ErrIncompatibleSwap", err)
+	}
+	if _, err := co.Classify(context.Background(), Probe{Dense: f.dense.Row(0)}, 1); err != nil {
+		t.Fatalf("coalescer broken after rejected swap: %v", err)
+	}
+}
+
+// The adaptive delay must tighten under load and report through Stats:
+// drive a burst of traffic and the armed delay should fall below
+// MaxDelay; after idling it returns to MaxDelay on the next lone probe.
+func TestCoalescerAdaptiveDelay(t *testing.T) {
+	const classes, d, probes = 7, 64, 64
+	f := newFixture(classes, d, probes, 26)
+	eng := infer.New(infer.NewFloatBackend(f.phi, f.labels, 1))
+	co := NewCoalescer(eng, Config{
+		MaxBatch: 16, MaxDelay: 50 * time.Millisecond, MinDelay: 100 * time.Microsecond,
+	})
+	defer co.Close()
+
+	// Paced arrivals with gaps ≪ MaxDelay: the EWMA converges to the
+	// small gap, so timers armed mid-stream (partial batches between
+	// greedy drains) must be far below MaxDelay. Retry a few rounds —
+	// exact flush timing is scheduler-dependent.
+	var cur time.Duration
+	for round := 0; round < 10; round++ {
+		var wg sync.WaitGroup
+		for p := 0; p < probes; p++ {
+			wg.Add(1)
+			time.Sleep(20 * time.Microsecond) // stagger admissions
+			go func(p int) {
+				defer wg.Done()
+				if _, err := co.Classify(context.Background(), Probe{Dense: f.dense.Row(p)}, 1); err != nil {
+					panic(err)
+				}
+			}(p)
+		}
+		wg.Wait()
+		var err error
+		if cur, err = time.ParseDuration(co.Stats().CurDelay); err != nil {
+			t.Fatalf("unparseable CurDelay: %v", err)
+		}
+		if cur < 50*time.Millisecond {
+			break
+		}
+	}
+	if cur >= 50*time.Millisecond {
+		t.Fatalf("adaptive delay %v did not tighten under burst load", cur)
+	}
+	// MaxDelay stays the hard bound: a lone probe is never delayed past it.
+	start := time.Now()
+	if _, err := co.Classify(context.Background(), Probe{Dense: f.dense.Row(0)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("lone probe waited %v", waited)
+	}
+}

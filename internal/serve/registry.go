@@ -79,6 +79,25 @@ func (r *Registry) RegisterEmbedder(name string, e Embedder) error {
 	return nil
 }
 
+// ReplaceEmbedder atomically swaps the embedder registered under name —
+// the hot-reload path for a freshly compiled network. Requests that
+// resolved the old embedder finish on it (embedders are stateless
+// shared-read objects, so there is nothing to drain); requests arriving
+// after the swap resolve the new one. Replacing an unknown name returns
+// ErrUnknownEmbedder: a reload must not silently grow the registry.
+func (r *Registry) ReplaceEmbedder(name string, e Embedder) error {
+	if e == nil {
+		return fmt.Errorf("serve: cannot replace embedder %q with nil", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.embedders[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEmbedder, name)
+	}
+	r.embedders[name] = e
+	return nil
+}
+
 // Embedder resolves an embedder by name. An empty name resolves iff
 // exactly one embedder is registered (the single-embedder shorthand,
 // mirroring Get).

@@ -27,15 +27,28 @@ package serve
 
 import (
 	"errors"
+	"runtime"
 	"time"
 
 	"repro/internal/infer"
+	"repro/internal/lat"
 )
 
 // Typed errors returned by Classify and the registry.
 var (
 	// ErrClosed: the coalescer has been closed and accepts no new probes.
 	ErrClosed = errors.New("serve: coalescer closed")
+	// ErrOverloaded: the admission queue is past its watermark; the
+	// request was shed without touching the engine. The HTTP layer maps
+	// it to 429 with a Retry-After hint — fail fast is the contract: a
+	// caller that would have waited past its deadline anyway learns
+	// immediately, and the queue depth (hence the latency of accepted
+	// requests) stays bounded.
+	ErrOverloaded = errors.New("serve: overloaded, request shed")
+	// ErrIncompatibleSwap: SwapQuerier was offered a querier whose
+	// geometry (dimensionality or probe representation) does not match
+	// the one the coalescer was built around.
+	ErrIncompatibleSwap = errors.New("serve: incompatible querier swap")
 	// ErrBadProbe: the submitted probe is missing, malformed, or does not
 	// match the backend's dimensionality or representation.
 	ErrBadProbe = errors.New("serve: bad probe")
@@ -86,6 +99,31 @@ type Config struct {
 	// queue applies backpressure: Classify blocks until the coalescer
 	// drains or the caller's context expires.
 	Queue int
+	// Watermark is the admission-queue depth (requests admitted but not
+	// yet dispatched to the engine) beyond which new requests are shed
+	// with ErrOverloaded instead of queuing. 0 disables shedding and
+	// keeps the legacy blocking backpressure; when set, Queue is raised
+	// to at least Watermark so admission below the watermark never
+	// blocks. cmd/hdcserve enables it by default (-watermark).
+	Watermark int
+	// MaxInFlight caps concurrently executing engine batches. 0 means
+	// unbounded (the legacy behavior: a slow batch never delays the
+	// next). When Watermark is set it defaults to 2×GOMAXPROCS: bounding
+	// in-flight work is what makes the watermark effective — a slow
+	// backend fills the execution slots, the admission loop blocks, the
+	// queue builds to the watermark, and new arrivals shed. Without the
+	// cap a slow backend just accumulates unbounded concurrent batches
+	// and the queue never reports the overload.
+	MaxInFlight int
+	// MinDelay is the floor of the adaptive flush delay (default 100µs,
+	// clamped to MaxDelay). The coalescer tracks the observed arrival
+	// rate and arms each batch's flush timer to the expected time for
+	// the batch to fill, clamped to [MinDelay, MaxDelay]: under load a
+	// lone probe waits far less than MaxDelay (the batch will fill or
+	// the short timer fires), while an idle service keeps the full
+	// MaxDelay window to give stragglers a chance to coalesce. MaxDelay
+	// remains the hard latency bound either way.
+	MinDelay time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -99,6 +137,18 @@ func (c Config) withDefaults() Config {
 	if c.Queue <= 0 {
 		c.Queue = 4 * c.MaxBatch
 	}
+	if c.Watermark > 0 && c.Queue < c.Watermark {
+		c.Queue = c.Watermark
+	}
+	if c.Watermark > 0 && c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MinDelay <= 0 {
+		c.MinDelay = 100 * time.Microsecond
+	}
+	if c.MinDelay > c.MaxDelay {
+		c.MinDelay = c.MaxDelay
+	}
 	return c
 }
 
@@ -107,11 +157,23 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	Requests     uint64  `json:"requests"`      // probes admitted
 	Rejected     uint64  `json:"rejected"`      // probes rejected before admission (bad probe, closed)
+	Shed         uint64  `json:"shed"`          // probes shed at the admission watermark (ErrOverloaded)
+	Cancelled    uint64  `json:"cancelled"`     // admitted probes dropped at drain: caller ctx already done
 	Batches      uint64  `json:"batches"`       // engine batches flushed
 	FullFlushes  uint64  `json:"full_flushes"`  // batches flushed because they reached MaxBatch
-	TimerFlushes uint64  `json:"timer_flushes"` // batches flushed by the MaxDelay deadline
+	TimerFlushes uint64  `json:"timer_flushes"` // batches flushed by the adaptive delay deadline
 	DrainFlushes uint64  `json:"drain_flushes"` // batches flushed while shutting down
 	LargestBatch int     `json:"largest_batch"` // largest batch flushed so far
 	MeanBatch    float64 `json:"mean_batch"`    // mean probes per flushed batch
 	InFlight     int64   `json:"in_flight"`     // batches currently executing on the engine
+	QueueDepth   int64   `json:"queue_depth"`   // probes admitted but not yet dispatched
+	// CurDelay is the most recently armed adaptive flush delay — MaxDelay
+	// when idle, shrinking toward MinDelay as the arrival rate rises.
+	CurDelay string `json:"cur_delay,omitempty"`
+
+	// Per-stage latency histograms, the internal decomposition of what
+	// cmd/hdcload measures externally: how long probes waited in the
+	// admission queue, and how long engine/router readout took per batch.
+	QueueWait *lat.Snapshot `json:"queue_wait,omitempty"`
+	Readout   *lat.Snapshot `json:"readout,omitempty"`
 }
