@@ -17,9 +17,13 @@
 // dimensionality per model, input shape per embedder), pre-marshals a
 // pool of request bodies so steady-state offering does no JSON work,
 // and drives POST /v1/classify — plus, with -embed-frac, a fraction of
-// POST /v1/embed-classify — recording per-request latency into the
-// same log-bucketed histogram the server uses internally
-// (internal/lat).
+// POST /v1/embed-classify, and with -enroll-frac, a fraction of
+// POST /v1/enroll (live enrollment mixed into open-loop traffic, each
+// request appending a fresh uniquely-labeled class) — recording
+// per-request latency into the same log-bucketed histogram the server
+// uses internally (internal/lat). The report separates enroll latency
+// from classify latency and counts the epoch flips the window drove
+// (end epoch minus start epoch, read from /stats).
 //
 // Output is one JSON document (stdout, or -out file) summarizing the
 // run: offered vs. achieved arrival rate, accepted/shed/error counts,
@@ -51,21 +55,23 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "localhost:8080", "hdcserve address (host:port)")
-		model     = flag.String("model", "", "model to classify against (empty: the single registered model)")
-		embName   = flag.String("embedder", "", "embedder for -embed-frac traffic (empty: the single registered embedder)")
-		rate      = flag.Float64("rate", 1000, "offered arrival rate, requests/second (Poisson)")
-		duration  = flag.Duration("duration", 10*time.Second, "offered-load window")
-		k         = flag.Int("k", 3, "ranked hits per request")
-		embedFrac = flag.Float64("embed-frac", 0, "fraction of requests sent to /v1/embed-classify (0..1)")
-		bodies    = flag.Int("bodies", 64, "distinct pre-marshaled request bodies to cycle through")
-		timeout   = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
-		seed      = flag.Int64("seed", 1, "probe-content seed")
-		out       = flag.String("out", "", "write the JSON report here (default stdout)")
+		addr       = flag.String("addr", "localhost:8080", "hdcserve address (host:port)")
+		model      = flag.String("model", "", "model to classify against (empty: the single registered model)")
+		embName    = flag.String("embedder", "", "embedder for -embed-frac traffic (empty: the single registered embedder)")
+		rate       = flag.Float64("rate", 1000, "offered arrival rate, requests/second (Poisson)")
+		duration   = flag.Duration("duration", 10*time.Second, "offered-load window")
+		k          = flag.Int("k", 3, "ranked hits per request")
+		embedFrac  = flag.Float64("embed-frac", 0, "fraction of requests sent to /v1/embed-classify (0..1)")
+		enrollFrac = flag.Float64("enroll-frac", 0, "fraction of requests sent to /v1/enroll, each enrolling a fresh class (0..1)")
+		bodies     = flag.Int("bodies", 64, "distinct pre-marshaled request bodies to cycle through")
+		timeout    = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+		seed       = flag.Int64("seed", 1, "probe-content seed")
+		out        = flag.String("out", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
-	if *rate <= 0 || *duration <= 0 || *embedFrac < 0 || *embedFrac > 1 || *bodies < 1 {
-		fmt.Fprintln(os.Stderr, "hdcload: bad -rate/-duration/-embed-frac/-bodies")
+	if *rate <= 0 || *duration <= 0 || *embedFrac < 0 || *embedFrac > 1 || *bodies < 1 ||
+		*enrollFrac < 0 || *enrollFrac > 1 || *enrollFrac+*embedFrac > 1 {
+		fmt.Fprintln(os.Stderr, "hdcload: bad -rate/-duration/-embed-frac/-enroll-frac/-bodies")
 		os.Exit(2)
 	}
 	base := *addr
@@ -120,8 +126,24 @@ func main() {
 		},
 	}
 
+	// Enroll traffic reuses the probe pool as prototype vectors; labels
+	// are unique per request (and pid-scoped, so repeated runs against a
+	// durable store never collide on a label).
+	var enrollVecs [][]float32
+	if *enrollFrac > 0 {
+		enrollVecs = make([][]float32, *bodies)
+		for i := range enrollVecs {
+			vec := make([]float32, geo.dim)
+			for j := range vec {
+				vec[j] = rng.Float32()*2 - 1
+			}
+			enrollVecs[i] = vec
+		}
+	}
+
 	var sent, ok, shed, failed atomic.Uint64
-	var hist, embedHist lat.Hist
+	var enrolled, enrollFailed atomic.Uint64
+	var hist, embedHist, enrollHist lat.Hist
 	var wg sync.WaitGroup
 	fire := func(url string, body []byte, h *lat.Hist) {
 		defer wg.Done()
@@ -145,6 +167,31 @@ func main() {
 		}
 	}
 
+	// Enrolls marshal their own body (each label is unique, so there is
+	// nothing to pre-marshal); their rarity keeps that off the latency
+	// story. Any non-200 answer counts as a failed enrollment.
+	enrollURL := base + "/v1/enroll"
+	labelBase := fmt.Sprintf("load-%d", os.Getpid())
+	fireEnroll := func(label string, vec []float32) {
+		defer wg.Done()
+		body := mustJSON(map[string]any{"label": label, "vector": vec})
+		start := time.Now()
+		resp, err := client.Post(enrollURL, "application/json", bytes.NewReader(body))
+		elapsed := time.Since(start)
+		if err != nil {
+			enrollFailed.Add(1)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			enrollFailed.Add(1)
+			return
+		}
+		enrolled.Add(1)
+		enrollHist.Observe(elapsed)
+	}
+
 	// Open-loop offering: the schedule is absolute (start + cumulative
 	// exponential gaps), so sleep overshoot does not compress the offered
 	// rate, and a late wakeup fires every request the schedule owes.
@@ -166,9 +213,16 @@ func main() {
 		}
 		sent.Add(1)
 		wg.Add(1)
-		if embedBodies != nil && arrivals.Float64() < *embedFrac {
+		var mix float64
+		if *enrollFrac > 0 || embedBodies != nil {
+			mix = arrivals.Float64()
+		}
+		switch {
+		case *enrollFrac > 0 && mix < *enrollFrac:
+			go fireEnroll(fmt.Sprintf("%s-%06d", labelBase, i), enrollVecs[i%len(enrollVecs)])
+		case embedBodies != nil && mix < *enrollFrac+*embedFrac:
 			go fire(embedURL, embedBodies[i%len(embedBodies)], &embedHist)
-		} else {
+		default:
 			go fire(classifyURL, classifyBodies[i%len(classifyBodies)], &hist)
 		}
 		i++
@@ -196,6 +250,18 @@ func main() {
 	if *embedFrac > 0 {
 		s := embedHist.Snapshot()
 		rep.EmbedLatency = &s
+	}
+	if *enrollFrac > 0 {
+		rep.Enrolls = enrolled.Load()
+		rep.EnrollFailed = enrollFailed.Load()
+		s := enrollHist.Snapshot()
+		rep.EnrollLatency = &s
+		// Epoch flips the window actually drove: the published epoch
+		// advanced once per accepted enrollment, measured server-side so
+		// distributed deployments report the router's count.
+		if end, err := discover(base, geo.model, ""); err == nil {
+			rep.EpochFlips = end.epoch - geo.epoch
+		}
 	}
 	enc, _ := json.MarshalIndent(rep, "", "  ")
 	enc = append(enc, '\n')
@@ -230,6 +296,12 @@ type report struct {
 	GoodputRPS   float64       `json:"goodput_rps"`             // accepted requests per second
 	Latency      lat.Snapshot  `json:"latency"`                 // accepted /v1/classify requests
 	EmbedLatency *lat.Snapshot `json:"embed_latency,omitempty"` // accepted /v1/embed-classify requests
+
+	// Live-enrollment traffic (-enroll-frac > 0 only).
+	Enrolls       uint64        `json:"enrolls,omitempty"`        // accepted /v1/enroll requests
+	EnrollFailed  uint64        `json:"enroll_failed,omitempty"`  // errored /v1/enroll requests
+	EpochFlips    uint64        `json:"epoch_flips,omitempty"`    // server-side epoch advance over the window
+	EnrollLatency *lat.Snapshot `json:"enroll_latency,omitempty"` // accepted /v1/enroll requests
 }
 
 // geometry is what the harness needs from the server to build valid
@@ -237,6 +309,7 @@ type report struct {
 type geometry struct {
 	model    string
 	dim      int
+	epoch    uint64
 	embedder string
 	inShape  []int
 }
@@ -255,7 +328,8 @@ func discover(base, model, embedder string) (geometry, error) {
 	}
 	var stats struct {
 		Models map[string]struct {
-			Dim int `json:"dim"`
+			Dim   int    `json:"dim"`
+			Epoch uint64 `json:"epoch"`
 		} `json:"models"`
 		Embedders map[string]struct {
 			InShape []int `json:"in_shape"`
@@ -278,6 +352,7 @@ func discover(base, model, embedder string) (geometry, error) {
 		return geometry{}, fmt.Errorf("server does not register model %q", g.model)
 	}
 	g.dim = m.Dim
+	g.epoch = m.Epoch
 	if g.embedder == "" && len(stats.Embedders) == 1 {
 		for name := range stats.Embedders {
 			g.embedder = name

@@ -35,6 +35,18 @@
 // nn.CompileQuantized) — the software twin of the paper's low-precision
 // deployment story.
 //
+// Live enrollment: POST /v1/enroll appends a class to the serving
+// memory without a restart. Locally the class memory is an
+// RCU-versioned store (internal/classmem.Versioned): the enrollment
+// appends past the published prefix, and rebuilt engines are swapped
+// behind the running coalescers so in-flight rankings finish on their
+// epoch while later probes see the new class. With -wal DIR every
+// enrollment is WAL-durable (fsync before publish) and replayed on
+// restart; -snapshot-every bounds replay length by compacting the log
+// into a snapshot. In -router mode the enrollment is forwarded to the
+// router's two-phase epoch flip across the growing range's replicas.
+// Every classify response carries the epoch it was served at.
+//
 // Overload: the coalescers shed requests past the -watermark queue
 // depth (HTTP 429 + Retry-After) instead of queuing without bound, so
 // the latency of accepted requests stays bounded at any offered load;
@@ -57,6 +69,7 @@
 //
 //	POST /v1/classify        {"model":"binary","k":5,"embedding":[...]}
 //	POST /v1/embed-classify  {"model":"float","embedder":"resnet","k":3,"input":[...3·H·W floats...]}
+//	POST /v1/enroll          {"label":"night-heron","vector":[...]} or {"label":...,"examples":[[...],...],"seed":7}
 //	POST /v1/reload
 //	GET  /healthz
 //	GET  /readyz
@@ -90,6 +103,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dist"
+	"repro/internal/hdc"
 	"repro/internal/infer"
 	"repro/internal/nn"
 	"repro/internal/serve"
@@ -115,6 +129,8 @@ func main() {
 		precision    = flag.String("precision", "both", "embedder precision to serve: f32, int8, or both")
 		routerPath   = flag.String("router", "", "serve a distributed class memory from this shards.json instead of local engines")
 		shardTimeout = flag.Duration("shard-timeout", 2*time.Second, "router: per-replica attempt timeout")
+		walDir       = flag.String("wal", "", "durable enrollment: WAL+snapshot directory (empty = enrollments are in-memory only)")
+		snapEvery    = flag.Int("snapshot-every", 64, "compact the enrollment WAL into a snapshot every N enrollments (0 = never)")
 		drain        = flag.Duration("drain", 5*time.Second, "shutdown: deadline for draining in-flight requests")
 	)
 	flag.Parse()
@@ -130,15 +146,27 @@ func main() {
 	var (
 		reg    *serve.Registry
 		router *dist.Router
+		store  *classmem.Versioned
 		err    error
 	)
 	if *routerPath != "" {
-		reg, router, err = buildRouterRegistry(*routerPath, *shardTimeout, cfg)
+		if *walDir != "" {
+			err = fmt.Errorf("hdcserve: -wal is a shard-side concern in -router mode (pass it to the growing hdcshard)")
+		} else {
+			reg, router, err = buildRouterRegistry(*routerPath, *shardTimeout, cfg)
+		}
 		if err == nil {
 			*dim = router.Dim() // the embedder must produce shard-dim probes
 		}
 	} else {
-		reg, err = buildRegistry(*classes, *dim, *seed, *workers, *backends, cfg)
+		if *walDir != "" {
+			store, err = classmem.OpenVersioned(*walDir, *classes, *dim, *seed, *snapEvery)
+		} else {
+			store = classmem.NewVersioned(*classes, *dim, *seed)
+		}
+		if err == nil {
+			reg, err = buildRegistry(store, *workers, *backends, cfg)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -155,8 +183,8 @@ func main() {
 		log.Printf("hdcserve: routing %d classes at d=%d over %d shard ranges, models %v, embedders %v",
 			router.Classes(), router.Dim(), router.Shards(), reg.Names(), reg.EmbedderNames())
 	} else {
-		log.Printf("hdcserve: %d classes at d=%d, models %v, embedders %v, coalescer max-batch=%d max-delay=%v",
-			*classes, *dim, reg.Names(), reg.EmbedderNames(), *maxBatch, *maxDelay)
+		log.Printf("hdcserve: %d classes at d=%d (epoch %d, %d enrolled), models %v, embedders %v, coalescer max-batch=%d max-delay=%v",
+			*classes, *dim, store.Epoch(), store.EnrolledTotal(), reg.Names(), reg.EmbedderNames(), *maxBatch, *maxDelay)
 	}
 
 	// Hot reload: rebuild the class-memory engines and embedders from the
@@ -171,19 +199,10 @@ func main() {
 		defer reloadMu.Unlock()
 		start := time.Now()
 		if router == nil {
-			mem := classmem.Build(*classes, *dim, *seed)
-			for _, name := range reg.Names() {
-				co, err := reg.Get(name)
-				if err != nil {
-					return err
-				}
-				eng, err := newBackendEngine(mem, name, *workers)
-				if err != nil {
-					return err
-				}
-				if err := co.SwapQuerier(eng); err != nil {
-					return err
-				}
+			// Rebuild from the versioned store, not the startup seed alone:
+			// live-enrolled classes survive a reload.
+			if err := swapStoreQueriers(reg, store, *workers); err != nil {
+				return err
 			}
 		}
 		if *embedder {
@@ -203,6 +222,31 @@ func main() {
 		return nil
 	}
 
+	// Live enrollment: convert the request into a packed prototype, then
+	// either drive the router's two-phase epoch flip (distributed) or
+	// enroll into the local versioned store and swap the grown engines
+	// behind the coalescers. The local path shares the reload mutex —
+	// both flow through the SwapQuerier seam and must not interleave.
+	enroll := func(_ context.Context, req serve.EnrollRequest) (uint64, error) {
+		proto, err := enrollProto(req, *dim)
+		if err != nil {
+			return 0, err
+		}
+		if router != nil {
+			return router.Enroll(req.Label, proto)
+		}
+		reloadMu.Lock()
+		defer reloadMu.Unlock()
+		epoch, err := store.Enroll(req.Label, proto)
+		if err != nil {
+			return 0, err
+		}
+		if err := swapStoreQueriers(reg, store, *workers); err != nil {
+			return 0, err
+		}
+		return epoch, nil
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		reg.Close()
@@ -213,6 +257,7 @@ func main() {
 	srv := &http.Server{Handler: serve.NewHandler(reg, serve.Hooks{
 		Ready:  ready.Load,
 		Reload: reload,
+		Enroll: enroll,
 	})}
 
 	hup := make(chan os.Signal, 1)
@@ -253,6 +298,9 @@ func main() {
 		if router != nil {
 			router.Close()
 		}
+		if store != nil {
+			store.Close()
+		}
 	}()
 
 	log.Printf("hdcserve: listening on %s", ln.Addr())
@@ -263,22 +311,22 @@ func main() {
 	<-done
 }
 
-// buildRegistry freezes one synthetic class memory and registers the
-// requested backends over it, each behind its own coalescer.
-func buildRegistry(classes, dim int, seed int64, workers int, backendList string, cfg serve.Config) (*serve.Registry, error) {
-	mem := classmem.Build(classes, dim, seed)
+// buildRegistry registers the requested backends over the versioned
+// class memory, each behind its own coalescer. The store starts at the
+// seed-derived base memory plus whatever its WAL replayed.
+func buildRegistry(store *classmem.Versioned, workers int, backendList string, cfg serve.Config) (*serve.Registry, error) {
 	reg := serve.NewRegistry()
 	for _, name := range strings.Split(backendList, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		eng, err := newBackendEngine(mem, name, workers)
+		q, err := newStoreQuerier(store, name, workers)
 		if err != nil {
 			reg.Close()
 			return nil, err
 		}
-		if err := reg.Register(eng.Name(), serve.NewCoalescer(eng, cfg)); err != nil {
+		if err := reg.Register(q.Name(), serve.NewCoalescer(q, cfg)); err != nil {
 			reg.Close()
 			return nil, err
 		}
@@ -289,15 +337,31 @@ func buildRegistry(classes, dim int, seed int64, workers int, backendList string
 	return reg, nil
 }
 
-// newBackendEngine builds one backend's checked shared engine from a
-// frozen class memory — the unit of work a hot reload repeats per
-// registered model.
-func newBackendEngine(mem *classmem.Memory, name string, workers int) (*infer.Engine, error) {
-	be, err := mem.Backend(name)
+// liveQuerier decorates one epoch's engine with the versioned store's
+// durability counters, so /stats reports epoch, enrolled_total, and
+// wal_bytes per model. The engine carries the epoch pin: its Epoch()
+// is the build-time stamp, so a ranking's tag always describes the
+// class memory that actually produced it, not whatever the store has
+// advanced to since.
+type liveQuerier struct {
+	*infer.Engine
+	store *classmem.Versioned
+}
+
+func (q *liveQuerier) EnrolledTotal() uint64 { return q.store.EnrolledTotal() }
+func (q *liveQuerier) WALBytes() int64       { return q.store.WALBytes() }
+
+// newStoreQuerier realizes one backend over the store's published
+// epoch — the unit of work enrollment and hot reload repeat per
+// registered model. Callers swapping live queriers serialize on the
+// enroll/reload mutex, so the epoch stamp and the realized class count
+// cannot diverge.
+func newStoreQuerier(store *classmem.Versioned, name string, workers int) (*liveQuerier, error) {
+	be, err := store.Backend(name)
 	if err != nil {
 		return nil, err
 	}
-	var opts []infer.Option
+	opts := []infer.Option{infer.WithEpoch(store.Epoch())}
 	if workers > 0 {
 		opts = append(opts, infer.WithWorkers(workers))
 	} else if name == "imc" {
@@ -305,7 +369,78 @@ func newBackendEngine(mem *classmem.Memory, name string, workers int) (*infer.En
 		// the host's core count (same rationale as cmd/hdczsc).
 		opts = append(opts, infer.WithWorkers(4))
 	}
-	return infer.NewChecked(be, opts...)
+	eng, err := infer.NewChecked(be, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &liveQuerier{Engine: eng, store: store}, nil
+}
+
+// swapStoreQueriers rebuilds every registered model from the store's
+// published epoch and swaps it behind its coalescer — the epoch
+// publish flowing through the hot-reload seam. In-flight batches
+// finish on their old engine; the float backend's ϕᵀ tile cache
+// carries over, so the swap re-packs only the grown tail.
+func swapStoreQueriers(reg *serve.Registry, store *classmem.Versioned, workers int) error {
+	for _, name := range reg.Names() {
+		co, err := reg.Get(name)
+		if err != nil {
+			return err
+		}
+		q, err := newStoreQuerier(store, name, workers)
+		if err != nil {
+			return err
+		}
+		if err := co.SwapQuerier(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enrollProto converts one enroll request into the packed class
+// prototype the class memory stores: a single dense vector is
+// sign-packed directly; example vectors are sign-packed then bundled
+// by majority rule with the request seed breaking ties (the paper's
+// bundling operator). The HTTP layer already enforced exactly one of
+// the two forms.
+func enrollProto(req serve.EnrollRequest, dim int) (*hdc.Binary, error) {
+	if len(req.Vector) > 0 {
+		bp, err := signBipolar(req.Vector, dim)
+		if err != nil {
+			return nil, err
+		}
+		return hdc.FromBipolar(bp), nil
+	}
+	examples := make([]hdc.Bipolar, len(req.Examples))
+	for i, ex := range req.Examples {
+		bp, err := signBipolar(ex, dim)
+		if err != nil {
+			return nil, err
+		}
+		examples[i] = bp
+	}
+	proto, err := classmem.BundleExamples(req.Seed, examples...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", serve.ErrBadInput, err)
+	}
+	return proto, nil
+}
+
+func signBipolar(vec []float32, dim int) (hdc.Bipolar, error) {
+	if len(vec) != dim {
+		return nil, fmt.Errorf("%w: enroll vector has %d components, the class memory expects %d",
+			serve.ErrBadInput, len(vec), dim)
+	}
+	bp := make(hdc.Bipolar, len(vec))
+	for i, v := range vec {
+		if v < 0 {
+			bp[i] = -1
+		} else {
+			bp[i] = 1
+		}
+	}
+	return bp, nil
 }
 
 // buildRouterRegistry connects to the shard processes in the routing

@@ -22,6 +22,12 @@
 //	    ranges onto nodes via the consistent-hash ring, write the
 //	    routing table, and exit.
 //
+// The tail range (the one ending at the global class count) is served
+// from an RCU-versioned store and accepts live enrollment through the
+// router's two-phase epoch flip; -wal DIR makes enrollments
+// crash-durable (fsync before ack) and replays them on restart, and
+// -snapshot-every bounds replay length by compacting the log.
+//
 // On startup the server prints `hdcshard: listening on ADDR` — with the
 // bound port resolved, so `-addr 127.0.0.1:0` works for tests — then
 // serves until SIGINT/SIGTERM, draining in-flight queries before exit.
@@ -58,6 +64,8 @@ func main() {
 		nShards     = flag.Int("shards", 0, "shard-range count (with -write-layout)")
 		nodes       = flag.String("nodes", "", "comma-separated node addresses (with -write-layout)")
 		replication = flag.Int("replication", 1, "replicas per range (with -write-layout)")
+		walDir      = flag.String("wal", "", "durable enrollment: WAL+snapshot directory for the growing tail range (empty = in-memory)")
+		snapEvery   = flag.Int("snapshot-every", 64, "compact the enrollment WAL into a snapshot every N enrollments (0 = never)")
 	)
 	flag.Parse()
 
@@ -75,7 +83,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv, err := buildServer(*backend, *classes, *dim, *seed, *workers, slabRanges)
+	srv, store, err := buildServer(*backend, *classes, *dim, *seed, *workers, slabRanges, *walDir, *snapEvery)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -92,9 +100,17 @@ func main() {
 		<-sig
 		log.Print("hdcshard: shutting down")
 		srv.Close() // stop accepting, drain in-flight queries
+		if store != nil {
+			store.Close()
+		}
 	}()
 
-	log.Printf("hdcshard: %s backend, %d classes at d=%d, ranges %v", *backend, *classes, *dim, slabRanges)
+	if store != nil {
+		log.Printf("hdcshard: %s backend, %d classes at d=%d, ranges %v (tail grows: epoch %d, %d enrolled)",
+			*backend, *classes, *dim, slabRanges, store.Epoch(), store.EnrolledTotal())
+	} else {
+		log.Printf("hdcshard: %s backend, %d classes at d=%d, ranges %v", *backend, *classes, *dim, slabRanges)
+	}
 	log.Printf("hdcshard: listening on %s", ln.Addr())
 	if err := srv.Serve(ln); err != nil {
 		log.Fatal(err)
@@ -169,24 +185,54 @@ func resolveRanges(rangeList, layoutPath, self, addr string, classes, dim int) (
 
 // buildServer freezes the seed-derived class memory and wraps one
 // engine per assigned range, each over a range view of the shared
-// global backend.
-func buildServer(backend string, classes, dim int, seed int64, workers int, ranges [][2]int) (*dist.ShardServer, error) {
+// global backend. The tail range (the one ending at the global class
+// count) is served from an RCU-versioned store instead of a frozen
+// engine, which makes it enrollable through the router's two-phase
+// epoch flip; with -wal the enrollments are crash-durable and replayed
+// here on restart. At epoch 0 the growing range serves bytes identical
+// to a frozen slab, so deployments that never enroll are unchanged.
+func buildServer(backend string, classes, dim int, seed int64, workers int, ranges [][2]int, walDir string, snapEvery int) (*dist.ShardServer, *classmem.Versioned, error) {
 	mem := classmem.Build(classes, dim, seed)
 	global, err := mem.Backend(backend)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var opts []infer.Option
 	if workers > 0 {
 		opts = append(opts, infer.WithWorkers(workers))
 	}
+	var store *classmem.Versioned
+	var growing *dist.GrowingSlab
 	slabs := make([]dist.Slab, 0, len(ranges))
 	for _, r := range ranges {
+		if r[1] == classes {
+			if walDir != "" {
+				store, err = classmem.OpenVersioned(walDir, classes, dim, seed, snapEvery)
+			} else {
+				store = classmem.NewVersioned(classes, dim, seed)
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			growing = &dist.GrowingSlab{Base: r[0], Width: r[1] - r[0], Backend: backend, Workers: workers, Store: store}
+			continue
+		}
 		eng, err := infer.NewChecked(infer.NewRangeBackend(global, r[0], r[1]), opts...)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		slabs = append(slabs, dist.Slab{Base: r[0], Engine: eng})
 	}
-	return dist.NewShardServer(slabs)
+	if growing == nil {
+		if walDir != "" {
+			return nil, nil, fmt.Errorf("hdcshard: -wal set but no assigned range ends at class %d (only the tail range grows)", classes)
+		}
+		srv, err := dist.NewShardServer(slabs)
+		return srv, nil, err
+	}
+	srv, err := dist.NewShardServer(slabs, growing)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, store, nil
 }

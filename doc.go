@@ -13,6 +13,15 @@
 // int8 GEMM with fused dequant/requant epilogues, int8 activations
 // between steps), served beside f32 via hdcserve -precision int8.
 //
+// The class memory learns while serving: internal/classmem.Versioned
+// is an RCU epoch store — POST /v1/enroll adds a class under live
+// traffic, published epochs are immutable and every classify response
+// is tagged with the epoch it was answered at, a CRC-framed WAL plus
+// snapshot compaction (-wal, -snapshot-every) make enrollments
+// crash-safe with bit-identical replay, and the distributed tail
+// shard grows through a two-phase epoch flip with catch-up replay for
+// restarted replicas. See README.md ("Live enrollment").
+//
 // The serving path's performance contracts are enforced statically by
 // the in-tree analyzer suite in internal/analysis (driven by
 // cmd/hdclint, standalone or via go vet -vettool): //hdc:hotpath marks

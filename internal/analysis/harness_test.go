@@ -188,11 +188,12 @@ func runAnalysisTest(t *testing.T, name string, analyzers ...*Analyzer) {
 	}
 }
 
-func TestHotPathAlloc(t *testing.T)  { runAnalysisTest(t, "hotpath", HotPathAlloc) }
-func TestDeterminism(t *testing.T)   { runAnalysisTest(t, "determ", Determinism) }
-func TestVersionKeyed(t *testing.T)  { runAnalysisTest(t, "version", VersionKeyed) }
-func TestAsmPair(t *testing.T)       { runAnalysisTest(t, "asmpair", AsmPair) }
-func TestAllowLint(t *testing.T)     { runAnalysisTest(t, "allow", HotPathAlloc, Determinism) }
+func TestHotPathAlloc(t *testing.T) { runAnalysisTest(t, "hotpath", HotPathAlloc) }
+func TestDeterminism(t *testing.T)  { runAnalysisTest(t, "determ", Determinism) }
+func TestVersionKeyed(t *testing.T) { runAnalysisTest(t, "version", VersionKeyed) }
+func TestEpochStore(t *testing.T)   { runAnalysisTest(t, "epoch", VersionKeyed) }
+func TestAsmPair(t *testing.T)      { runAnalysisTest(t, "asmpair", AsmPair) }
+func TestAllowLint(t *testing.T)    { runAnalysisTest(t, "allow", HotPathAlloc, Determinism) }
 func TestSuiteRegistry(t *testing.T) {
 	if len(All()) < 4 {
 		t.Fatalf("suite lost analyzers: %d", len(All()))

@@ -1,0 +1,99 @@
+// Package epoch exercises the versionkeyed analyzer's epoch-store
+// rule against a structural stand-in for classmem.Versioned: any named
+// type with a niladic PublishEpoch method and a `slab` field carries
+// the publish-after-write contract.
+package epoch
+
+type slabBacking struct {
+	labels []string
+	phi    []float32
+	rows   int
+}
+
+type store struct {
+	slab  slabBacking
+	epoch uint64
+}
+
+func (s *store) PublishEpoch() { s.epoch++ }
+
+func goodAppend(s *store, label string, row []float32) {
+	s.slab.labels = append(s.slab.labels, label)
+	s.slab.phi = append(s.slab.phi, row...)
+	s.slab.rows++
+	s.PublishEpoch() // paired in the same function: no finding
+}
+
+func goodSeed(s *store, labels []string) {
+	s.slab.labels = labels
+	s.slab.rows = len(labels)
+	s.PublishEpoch()
+}
+
+func badAppend(s *store, label string) {
+	s.slab.labels = append(s.slab.labels, label) // want `write to epoch-store slab without PublishEpoch`
+}
+
+func badElem(s *store, x float32) {
+	s.slab.phi[0] = x // want `write to epoch-store slab without PublishEpoch`
+}
+
+func badRows(s *store) {
+	s.slab.rows++ // want `write to epoch-store slab without PublishEpoch`
+}
+
+func badCopy(s *store, row []float32) {
+	copy(s.slab.phi, row) // want `write to epoch-store slab without PublishEpoch`
+}
+
+func badSlice(s *store, row []float32) {
+	copy(s.slab.phi[4:8], row) // want `write to epoch-store slab without PublishEpoch`
+}
+
+func badReplace(s *store, b slabBacking) {
+	s.slab = b // want `write to epoch-store slab without PublishEpoch`
+}
+
+func read(s *store) int {
+	return s.slab.rows // reads are free
+}
+
+// publishes with a different epoch-gauge shape: still the publish call
+// that discharges the contract.
+type wideStore struct {
+	slab  slabBacking
+	flips []uint64
+}
+
+func (w *wideStore) PublishEpoch() { w.flips = append(w.flips, 1) }
+
+func goodWide(w *wideStore, label string) {
+	w.slab.labels = append(w.slab.labels, label)
+	w.PublishEpoch()
+}
+
+// noPublish has a slab field but no PublishEpoch in its method set —
+// not an epoch store, writes are free.
+type noPublish struct {
+	slab slabBacking
+}
+
+func notEpochStore(n *noPublish, x float32) {
+	n.slab.phi[0] = x // no PublishEpoch in the method set: no finding
+}
+
+// argPublish's PublishEpoch takes an argument — not the niladic
+// contract method, so the type is not an epoch store.
+type argPublish struct {
+	slab slabBacking
+}
+
+func (a *argPublish) PublishEpoch(n int) {}
+
+func notNiladic(a *argPublish, x float32) {
+	a.slab.phi[0] = x // PublishEpoch is not niladic: no finding
+}
+
+func allowed(s *store, x float32) {
+	s.slab.phi[0] = x //hdc:allow versionkeyed rebuilding a scratch store never served
+}

@@ -5,33 +5,43 @@ import (
 	"go/types"
 )
 
-// VersionKeyed enforces the derived-cache invalidation contract on
-// trainable parameters: every write to a Param's value tensor must be
+// VersionKeyed enforces the version-bump invalidation contract on both
+// of the repository's versioned-state families:
+//
+// Trainable parameters: every write to a Param's value tensor must be
 // paired with a BumpVersion call, or layers holding version-keyed
 // derived forms (Linear's packed weight panel, the compiled plans'
 // folded weights, the int8 packed panels) keep serving the stale
-// pre-write bytes.
-//
-// A "Param" is any named type whose method set includes BumpVersion()
-// — structurally matched, so the analyzer needs no dependency on the
-// nn package. Flagged writes, in any function that does not also call
-// BumpVersion:
+// pre-write bytes. A "Param" is any named type whose method set
+// includes BumpVersion() — structurally matched, so the analyzer needs
+// no dependency on the nn package. Flagged writes, in any function
+// that does not also call BumpVersion:
 //
 //	p.Value.Data[i] = x        // element store
 //	p.Value.Data[a:b] ...      // slice store
 //	copy(p.Value.Data, src)    // bulk overwrite
 //	p.Value = t                // wholesale tensor replacement
 //
-// The check is function-granular by design: a loop of element stores
-// followed by one BumpVersion (the optimizer pattern) is correct and
-// accepted; a helper that writes but never bumps is the exact bug
-// class the PR 4/5 cache-invalidation tests catch dynamically, found
-// here on every call path at compile time. Writes through an alias
-// (d := p.Value.Data; d[0] = x) are beyond the analyzer's reach — keep
-// parameter stores syntactically rooted at the Param.
+// Epoch-bumping stores: the RCU class memory behind live enrollment
+// (classmem.Versioned) keeps its growable backing in a field named
+// `slab` and publishes a grown prefix with PublishEpoch(). Any write
+// rooted at a `.slab` field of a named type whose method set includes
+// a niladic PublishEpoch() must appear in a function that also calls
+// PublishEpoch — a helper that appends rows but forgets the flip
+// leaves every query serving the stale epoch, silently, forever. Same
+// shape as the Param rule, applied to the readout side.
+//
+// Both checks are function-granular by design: a loop of stores
+// followed by one bump/publish (the optimizer and applyLocked
+// patterns) is correct and accepted; a helper that writes but never
+// bumps is the exact bug class the cache-invalidation tests catch
+// dynamically, found here on every call path at compile time. Writes
+// through an alias (d := p.Value.Data; d[0] = x) are beyond the
+// analyzer's reach — keep versioned stores syntactically rooted at
+// their owner.
 var VersionKeyed = &Analyzer{
 	Name: "versionkeyed",
-	Doc:  "flag Param value writes in functions that never call BumpVersion (stale derived caches)",
+	Doc:  "flag versioned-state writes in functions that never bump the version (stale derived caches / stale epochs)",
 	Run:  runVersionKeyed,
 }
 
@@ -42,39 +52,57 @@ func runVersionKeyed(pass *Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			var writes []ast.Node
-			bumps := false
+			var paramWrites, slabWrites []ast.Node
+			bumps, publishes := false, false
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.AssignStmt:
 					for _, lhs := range n.Lhs {
 						if isParamValueWrite(pass.Info, lhs) {
-							writes = append(writes, lhs)
+							paramWrites = append(paramWrites, lhs)
+						}
+						if isEpochSlabWrite(pass.Info, lhs) {
+							slabWrites = append(slabWrites, lhs)
 						}
 					}
 				case *ast.IncDecStmt:
 					if isParamValueWrite(pass.Info, n.X) {
-						writes = append(writes, n.X)
+						paramWrites = append(paramWrites, n.X)
+					}
+					if isEpochSlabWrite(pass.Info, n.X) {
+						slabWrites = append(slabWrites, n.X)
 					}
 				case *ast.CallExpr:
 					if calleeName(pass.Info, n) == "copy" && len(n.Args) == 2 {
 						if isParamValueWrite(pass.Info, n.Args[0]) {
-							writes = append(writes, n.Args[0])
+							paramWrites = append(paramWrites, n.Args[0])
+						}
+						if isEpochSlabWrite(pass.Info, n.Args[0]) {
+							slabWrites = append(slabWrites, n.Args[0])
 						}
 					}
-					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "BumpVersion" {
-						if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && obj.Name() == "BumpVersion" {
-							bumps = true
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+							switch obj.Name() {
+							case "BumpVersion":
+								bumps = true
+							case "PublishEpoch":
+								publishes = true
+							}
 						}
 					}
 				}
 				return true
 			})
-			if bumps {
-				continue
+			if !bumps {
+				for _, w := range paramWrites {
+					pass.Reportf(w.Pos(), "write to Param value without BumpVersion in %s: version-keyed caches (packed panels, compiled plans) will serve stale weights", fd.Name.Name)
+				}
 			}
-			for _, w := range writes {
-				pass.Reportf(w.Pos(), "write to Param value without BumpVersion in %s: version-keyed caches (packed panels, compiled plans) will serve stale weights", fd.Name.Name)
+			if !publishes && fd.Name.Name != "PublishEpoch" {
+				for _, w := range slabWrites {
+					pass.Reportf(w.Pos(), "write to epoch-store slab without PublishEpoch in %s: queries keep serving the stale epoch", fd.Name.Name)
+				}
 			}
 		}
 	}
@@ -113,12 +141,40 @@ func isParamValueWrite(info *types.Info, expr ast.Expr) bool {
 	if sel.Sel.Name != "Value" {
 		return false
 	}
-	return hasBumpVersion(info.TypeOf(sel.X))
+	return hasNiladicMethod(info.TypeOf(sel.X), "BumpVersion")
 }
 
-// hasBumpVersion reports whether t's method set (value or pointer)
-// includes a niladic BumpVersion method.
-func hasBumpVersion(t types.Type) bool {
+// isEpochSlabWrite reports whether expr is a write target rooted at an
+// epoch store's growable backing: `<store>.slab`, `<store>.slab.<f>`,
+// `<store>.slab.<f>[...]`, or a slice thereof, where <store>'s type
+// has a niladic PublishEpoch method. The `slab` field name is the
+// load-bearing half of the contract (see classmem.memorySlab).
+func isEpochSlabWrite(info *types.Info, expr ast.Expr) bool {
+	e := ast.Unparen(expr)
+	// Strip index/slice layers, then walk the selector chain inward
+	// looking for the `.slab` hop on an epoch-store receiver.
+	for {
+		switch t := e.(type) {
+		case *ast.IndexExpr:
+			e = ast.Unparen(t.X)
+			continue
+		case *ast.SliceExpr:
+			e = ast.Unparen(t.X)
+			continue
+		case *ast.SelectorExpr:
+			if t.Sel.Name == "slab" && hasNiladicMethod(info.TypeOf(t.X), "PublishEpoch") {
+				return true
+			}
+			e = ast.Unparen(t.X)
+			continue
+		}
+		return false
+	}
+}
+
+// hasNiladicMethod reports whether t's method set (value or pointer)
+// includes a method with the given name taking no arguments.
+func hasNiladicMethod(t types.Type, name string) bool {
 	if t == nil {
 		return false
 	}
@@ -130,7 +186,8 @@ func hasBumpVersion(t types.Type) bool {
 		return false
 	}
 	for i := 0; i < named.NumMethods(); i++ {
-		if named.Method(i).Name() == "BumpVersion" {
+		m := named.Method(i)
+		if m.Name() == name && m.Signature().Params().Len() == 0 {
 			return true
 		}
 	}

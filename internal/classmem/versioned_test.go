@@ -1,0 +1,339 @@
+package classmem
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/hdc"
+	"repro/internal/infer"
+	"repro/internal/tensor"
+)
+
+const (
+	vtClasses = 12
+	vtDim     = 256
+	vtSeed    = int64(11)
+)
+
+// vtProto generates the i'th deterministic enrollment prototype — the
+// same construction every test (and the chaos test's oracle) uses.
+func vtProto(i int) *hdc.Binary {
+	rng := rand.New(rand.NewSource(vtSeed + 1000 + int64(i)))
+	bp := make(hdc.Bipolar, vtDim)
+	for j := range bp {
+		if rng.Intn(2) == 0 {
+			bp[j] = 1
+		} else {
+			bp[j] = -1
+		}
+	}
+	return hdc.FromBipolar(bp)
+}
+
+// assertBitIdentical compares two stores' published memories bit for
+// bit: labels, packed words, phi floats, norms, epoch.
+func assertBitIdentical(t *testing.T, got, want *Versioned) {
+	t.Helper()
+	gs, ws := got.Snapshot(), want.Snapshot()
+	if gs.Epoch != ws.Epoch {
+		t.Fatalf("epoch %d, want %d", gs.Epoch, ws.Epoch)
+	}
+	if len(gs.Mem.Labels) != len(ws.Mem.Labels) {
+		t.Fatalf("%d labels, want %d", len(gs.Mem.Labels), len(ws.Mem.Labels))
+	}
+	for i := range gs.Mem.Labels {
+		if gs.Mem.Labels[i] != ws.Mem.Labels[i] {
+			t.Fatalf("label %d: %q, want %q", i, gs.Mem.Labels[i], ws.Mem.Labels[i])
+		}
+	}
+	gw, ww := gs.Mem.Items.Slab(), ws.Mem.Items.Slab()
+	if len(gw) != len(ww) {
+		t.Fatalf("%d slab words, want %d", len(gw), len(ww))
+	}
+	for i := range gw {
+		if gw[i] != ww[i] {
+			t.Fatalf("slab word %d: %#x, want %#x", i, gw[i], ww[i])
+		}
+	}
+	gp, wp := gs.Mem.Phi.Data, ws.Mem.Phi.Data
+	if len(gp) != len(wp) {
+		t.Fatalf("%d phi floats, want %d", len(gp), len(wp))
+	}
+	for i := range gp {
+		if gp[i] != wp[i] {
+			t.Fatalf("phi[%d]: %v, want %v", i, gp[i], wp[i])
+		}
+	}
+	for i := range gs.Norms.Data {
+		if gs.Norms.Data[i] != ws.Norms.Data[i] {
+			t.Fatalf("norm[%d]: %v, want %v", i, gs.Norms.Data[i], ws.Norms.Data[i])
+		}
+	}
+}
+
+// The satellite property test: a durable store that enrolled k classes
+// (crossing a compaction boundary on the way), crashed, and replayed
+// its snapshot + WAL is bit-identical to direct construction — the
+// same base Build with the same k prototypes enrolled in-memory.
+func TestVersionedWALReplayBitIdentical(t *testing.T) {
+	const k = 7
+	dir := t.TempDir()
+	// snapshotEvery=3 so enrollments land on both sides of a compaction.
+	v, err := OpenVersioned(dir, vtClasses, vtDim, vtSeed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := NewVersioned(vtClasses, vtDim, vtSeed)
+	for i := 0; i < k; i++ {
+		label := "enrolled-" + string(rune('a'+i))
+		ep, err := v.Enroll(label, vtProto(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ep != uint64(i+1) {
+			t.Fatalf("enroll %d returned epoch %d", i, ep)
+		}
+		if _, err := direct.Enroll(label, vtProto(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "Crash": drop the handle without any orderly shutdown.
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenVersioned(dir, vtClasses, vtDim, vtSeed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	assertBitIdentical(t, re, direct)
+	if re.Epoch() != k {
+		t.Fatalf("replayed epoch %d, want %d", re.Epoch(), k)
+	}
+
+	// The replayed store keeps enrolling from where it left off.
+	if ep, err := re.Enroll("post-replay", vtProto(k)); err != nil || ep != k+1 {
+		t.Fatalf("post-replay enroll: epoch %d, err %v", ep, err)
+	}
+}
+
+// Torn-write recovery: a WAL whose tail record is cut mid-frame must
+// replay cleanly to the last complete record, and a lost commit frame
+// must come back as a staged (prepared, unpublished) enrollment.
+func TestVersionedWALTornTail(t *testing.T) {
+	const k = 4
+	dir := t.TempDir()
+	v, err := OpenVersioned(dir, vtClasses, vtDim, vtSeed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if _, err := v.Enroll("torn-"+string(rune('a'+i)), vtProto(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, walName)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the final frame (the commit of epoch k): the enrollment
+	// was prepared and fsync'd but its publish never hit the disk.
+	if err := os.WriteFile(walPath, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenVersioned(dir, vtClasses, vtDim, vtSeed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Epoch() != k-1 {
+		t.Fatalf("epoch after torn commit: %d, want %d", re.Epoch(), k-1)
+	}
+	if ep, ok := re.Pending(); !ok || ep != k {
+		t.Fatalf("pending after torn commit: (%d, %v), want (%d, true)", ep, ok, k)
+	}
+	// Committing the restored stage completes the interrupted flip.
+	if err := re.Commit(k); err != nil {
+		t.Fatal(err)
+	}
+	if re.Epoch() != k {
+		t.Fatalf("epoch after commit: %d, want %d", re.Epoch(), k)
+	}
+	re.Close()
+
+	// Now cut mid-way into an enroll frame: replay must stop before it
+	// and the torn bytes must be gone so appends resume cleanly.
+	raw, err = os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := OpenVersioned(dir, vtClasses, vtDim, vtSeed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Epoch() >= k {
+		t.Fatalf("epoch after mid-file truncation: %d, want < %d", re2.Epoch(), k)
+	}
+	if _, err := re2.Enroll("resume", vtProto(9)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The two-phase primitives: epoch numbers are idempotent request IDs —
+// duplicate prepares/commits ack, conflicting content errors, gaps
+// error.
+func TestVersionedPrepareCommit(t *testing.T) {
+	v := NewVersioned(vtClasses, vtDim, vtSeed)
+	p0, p1 := vtProto(0), vtProto(1)
+
+	if err := v.Prepare(1, "x", p0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Prepare(1, "x", p0); err != nil {
+		t.Fatalf("duplicate prepare: %v", err)
+	}
+	if err := v.Prepare(1, "y", p1); !errors.Is(err, ErrEpochConflict) {
+		t.Fatalf("conflicting prepare: %v", err)
+	}
+	if err := v.Prepare(3, "z", p1); !errors.Is(err, ErrEpochGap) {
+		t.Fatalf("gapped prepare: %v", err)
+	}
+	if err := v.Commit(2); !errors.Is(err, ErrEpochGap) {
+		t.Fatalf("gapped commit: %v", err)
+	}
+	if v.Epoch() != 0 {
+		t.Fatalf("published before commit: epoch %d", v.Epoch())
+	}
+	if err := v.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Commit(1); err != nil {
+		t.Fatalf("duplicate commit: %v", err)
+	}
+	if v.Epoch() != 1 {
+		t.Fatalf("epoch %d after commit", v.Epoch())
+	}
+	// Re-prepare of a published epoch: same content acks, different errors.
+	if err := v.Prepare(1, "x", p0); err != nil {
+		t.Fatalf("re-prepare published: %v", err)
+	}
+	if err := v.Prepare(1, "x", p1); !errors.Is(err, ErrEpochConflict) {
+		t.Fatalf("re-prepare published with different proto: %v", err)
+	}
+	if err := v.Commit(2); !errors.Is(err, ErrNotPrepared) {
+		t.Fatalf("commit without prepare: %v", err)
+	}
+}
+
+// The RCU contract: a snapshot taken before enrollments keeps serving
+// its exact pre-enrollment bytes, and backends built from old and new
+// epochs rank identically over the shared prefix.
+func TestVersionedSnapshotImmutable(t *testing.T) {
+	v := NewVersioned(vtClasses, vtDim, vtSeed)
+	old := v.Snapshot()
+	oldWords := append([]uint64(nil), old.Mem.Items.Slab()...)
+	oldPhi := append([]float32(nil), old.Mem.Phi.Data...)
+
+	oldBe, err := old.Backend("float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldEng := infer.New(oldBe, infer.WithWorkers(2), infer.WithEpoch(old.Epoch))
+	probe := tensor.New(3, vtDim)
+	rng := rand.New(rand.NewSource(99))
+	for i := range probe.Data {
+		probe.Data[i] = float32(rng.NormFloat64())
+	}
+	wantOld, err := oldEng.TryQuery(infer.DenseBatch(probe), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Populate the store-built backend's tile cache pre-enrollment so
+	// the post-enrollment Backend call exercises real carry-over.
+	warm, err := v.Backend("float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := infer.New(warm, infer.WithWorkers(2)).TryQuery(infer.DenseBatch(probe), 3); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 5; i++ {
+		if _, err := v.Enroll("grow-"+string(rune('a'+i)), vtProto(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if old.Mem.Items.Len() != vtClasses || old.Mem.Phi.Dim(0) != vtClasses {
+		t.Fatalf("old snapshot grew: %d items", old.Mem.Items.Len())
+	}
+	for i, w := range old.Mem.Items.Slab() {
+		if w != oldWords[i] {
+			t.Fatalf("old snapshot word %d changed", i)
+		}
+	}
+	for i, f := range old.Mem.Phi.Data {
+		if f != oldPhi[i] {
+			t.Fatalf("old snapshot phi[%d] changed", i)
+		}
+	}
+	// Old engine still serves the old ranking, byte-identical.
+	again, err := oldEng.TryQuery(infer.DenseBatch(probe), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range wantOld {
+		for i := range wantOld[p].TopK {
+			if again[p].TopK[i] != wantOld[p].TopK[i] {
+				t.Fatalf("old engine ranking changed at probe %d hit %d", p, i)
+			}
+		}
+	}
+
+	// The grown float backend (with tile carry-over) must agree with a
+	// fresh no-carry backend over the new epoch — and with the binary
+	// path's prefix math: epoch arithmetic says base+5 classes.
+	s := v.Snapshot()
+	if s.Epoch != 5 || s.Mem.Items.Len() != vtClasses+5 {
+		t.Fatalf("new snapshot: epoch %d, %d items", s.Epoch, s.Mem.Items.Len())
+	}
+	carried, err := v.Backend("float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := s.Backend("float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := infer.New(carried, infer.WithWorkers(2))
+	ef := infer.New(fresh, infer.WithWorkers(2))
+	rc, err := ec.TryQuery(infer.DenseBatch(probe), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := ef.TryQuery(infer.DenseBatch(probe), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range rc {
+		for i := range rc[p].TopK {
+			if rc[p].TopK[i] != rf[p].TopK[i] {
+				t.Fatalf("carried vs fresh backend differ at probe %d hit %d: %+v vs %+v",
+					p, i, rc[p].TopK[i], rf[p].TopK[i])
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 type call struct {
 	reply *shardReply
 	info  *ShardInfo // hello replies land here instead
+	flip  *flipReply // prepare/commit replies land here instead
 	err   error
 	done  chan struct{}
 }
@@ -172,6 +173,12 @@ func (c *clientConn) readLoop() {
 			} else {
 				*cl.info = *info
 			}
+		case opPrepareOK, opCommitOK:
+			if cl.flip == nil {
+				cl.err = errBadOp(op)
+			} else {
+				cl.err = decodeFlipOK(body, cl.flip)
+			}
 		case opError:
 			cl.err = decodeError(body)
 		default:
@@ -189,11 +196,11 @@ func (c *clientConn) readLoop() {
 // and every other in-flight call on it fails over too.
 //
 //hdc:hotpath
-func (c *clientConn) roundTrip(buf []byte, base, k int, rep infer.Representation, batch *infer.Batch, timeout time.Duration, out *shardReply) ([]byte, error) {
+func (c *clientConn) roundTrip(buf []byte, epoch uint64, base, k int, rep infer.Representation, batch *infer.Batch, timeout time.Duration, out *shardReply) ([]byte, error) {
 	cl := &call{reply: out, done: make(chan struct{})} //hdc:allow hotpathalloc one call object and channel per shard RPC is the pipelining design
 	id := c.register(cl)
 	var err error
-	buf, err = appendQuery(buf, id, base, k, rep, batch)
+	buf, err = appendQuery(buf, id, epoch, base, k, rep, batch)
 	if err != nil {
 		c.drop(id)
 		return buf, err
@@ -218,6 +225,39 @@ func (c *clientConn) roundTrip(buf []byte, base, k int, rep infer.Representation
 			cl.err = errShardTimeout(timeout)
 		}
 		return buf, cl.err
+	}
+}
+
+// flipTrip sends one prepare or commit frame and waits for the flip
+// acknowledgment. Same condemnation-on-timeout discipline as roundTrip.
+//
+//hdc:coldpath enrollment flips are rare control traffic, off the query hot path
+func (c *clientConn) flipTrip(rec *EnrollRecord, commit bool, timeout time.Duration) (flipReply, error) {
+	cl := &call{flip: &flipReply{}, done: make(chan struct{})}
+	id := c.register(cl)
+	var frame []byte
+	if commit {
+		frame = appendCommit(nil, id, rec.Epoch)
+	} else {
+		frame = appendPrepare(nil, id, rec)
+	}
+	if err := c.write(frame, timeout); err != nil {
+		c.drop(id)
+		c.fail(err)
+		return flipReply{}, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-cl.done:
+		return *cl.flip, cl.err
+	case <-timer.C:
+		c.fail(errShardTimeout(timeout))
+		<-cl.done
+		if cl.err == nil {
+			cl.err = errShardTimeout(timeout)
+		}
+		return flipReply{}, cl.err
 	}
 }
 

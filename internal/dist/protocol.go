@@ -27,22 +27,35 @@ import (
 // batches.
 //
 //	hello   := version:u8
-//	info    := version:u8 rep:u8 dim:u32 name:str8
+//	info    := version:u8 rep:u8 dim:u32 name:str8 epoch:u64
 //	           nslabs:u16 { base:u32 classes:u32 { label:str16 }*classes }*nslabs
-//	query   := base:u32 k:u16 rep:u8 n:u16 dim:u32 slab
+//	query   := epoch:u64 base:u32 k:u16 rep:u8 n:u16 dim:u32 slab
 //	           slab(dense)  := f32[n*dim]
 //	           slab(packed) := u64[n*ceil(dim/64)]
 //	results := n:u16 { kk:u16 { class:u32 score:f64bits }*kk }*n
+//	prepare := epoch:u64 label:str16 nwords:u32 { w:u64 }*nwords
+//	commit  := epoch:u64
+//	flipok  := ok:u8 committed:u64        (answers prepare and commit)
 //	error   := msg:str16
 //
 // Classes in results frames are GLOBAL indices (the shard adds its
 // slab base before replying), and scores travel as raw IEEE-754 bits,
 // so the router's merge sees bit-for-bit the numbers the shard engine
 // computed — the byte-identical-ranking contract survives the wire.
+//
+// Live enrollment (version 2): info advertises the shard's committed
+// enrollment epoch, every query names the epoch it must be served at
+// (a shard that grows serves exactly the class prefix epoch e
+// contains; a shard asked past its committed epoch answers an error
+// and the router fails over), and prepare/commit drive the two-phase
+// epoch flip — prepare stages one WAL-durable enrollment, commit
+// publishes it. A flipok with ok=0 is a clean refusal (the replica's
+// committed epoch lags the flip) carrying where the replica actually
+// is, so the router can replay the missing enrollments.
 const (
 	// ProtocolVersion is negotiated in hello/info; a mismatch is a
 	// handshake error, never a silent misparse.
-	ProtocolVersion = 1
+	ProtocolVersion = 2
 	// MaxFrame caps a frame payload; a peer announcing more is treated
 	// as corrupt and the connection is dropped.
 	MaxFrame = 64 << 20
@@ -55,6 +68,10 @@ const (
 	opQuery
 	opResults
 	opError
+	opPrepare
+	opPrepareOK
+	opCommit
+	opCommitOK
 )
 
 // frameHeaderSize is the fixed per-payload prefix: op + reqID.
@@ -205,7 +222,11 @@ type ShardInfo struct {
 	Rep     infer.Representation
 	Dim     int
 	Name    string
-	Slabs   []SlabInfo
+	// Epoch is the shard's committed enrollment epoch: its growing slab
+	// (if any) holds the base range plus the first Epoch enrollments.
+	// Frozen shards report 0.
+	Epoch uint64
+	Slabs []SlabInfo
 }
 
 func appendHello(buf []byte, reqID uint32) []byte {
@@ -219,6 +240,7 @@ func appendInfo(buf []byte, reqID uint32, info *ShardInfo) []byte {
 	buf = append(buf, ProtocolVersion, byte(info.Rep))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(info.Dim))
 	buf = appendStr8(buf, info.Name)
+	buf = binary.LittleEndian.AppendUint64(buf, info.Epoch)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(info.Slabs)))
 	for _, sl := range info.Slabs {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(sl.Base))
@@ -236,6 +258,7 @@ func decodeInfo(body []byte) (*ShardInfo, error) {
 	info := &ShardInfo{Version: r.u8(), Rep: infer.Representation(r.u8())}
 	info.Dim = int(r.u32())
 	info.Name = r.str8()
+	info.Epoch = r.u64()
 	nslabs := int(r.u16())
 	for i := 0; i < nslabs && !r.fail(); i++ {
 		sl := SlabInfo{Base: int(r.u32()), Classes: int(r.u32())}
@@ -259,19 +282,21 @@ func decodeInfo(body []byte) (*ShardInfo, error) {
 
 // --- query ----------------------------------------------------------------
 
-// appendQuery encodes one probe batch addressed to the slab at base.
-// Dense probes are written as raw float32 rows; packed probes as raw
-// uint64 words. The representation is the shard's declared one, so the
-// server never converts.
+// appendQuery encodes one probe batch addressed to the slab at base,
+// to be served at exactly the named enrollment epoch. Dense probes are
+// written as raw float32 rows; packed probes as raw uint64 words. The
+// representation is the shard's declared one, so the server never
+// converts.
 //
 //hdc:hotpath
-func appendQuery(buf []byte, reqID uint32, base int, k int, rep infer.Representation, batch *infer.Batch) ([]byte, error) {
+func appendQuery(buf []byte, reqID uint32, epoch uint64, base int, k int, rep infer.Representation, batch *infer.Batch) ([]byte, error) {
 	n := batch.Len()
 	dim := batch.Dim()
 	if n > math.MaxUint16 || k > math.MaxUint16 {
 		return buf, errQueryTooLarge(n, k)
 	}
 	buf = beginFrame(buf, opQuery, reqID)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(base))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(k))
 	buf = append(buf, byte(rep)) //hdc:allow hotpathalloc amortized frame-buffer growth; the steady state reuses capacity
@@ -308,6 +333,7 @@ func appendQuery(buf []byte, reqID uint32, base int, k int, rep infer.Representa
 // the caller's scratch (flat / words grown, never shrunk), so a served
 // connection's steady state allocates nothing.
 type wireQuery struct {
+	epoch uint64
 	base  int
 	k     int
 	rep   infer.Representation
@@ -324,6 +350,7 @@ type wireQuery struct {
 //hdc:hotpath
 func decodeQuery(body []byte, q *wireQuery) error {
 	r := wireReader{b: body}
+	q.epoch = r.u64()
 	q.base = int(r.u32())
 	q.k = int(r.u16())
 	q.rep = infer.Representation(r.u8())
@@ -437,6 +464,102 @@ func decodeResults(body []byte, rep *shardReply) error {
 			row[i] = infer.Hit{Class: int(class), Score: math.Float64frombits(score)}
 		}
 	}
+	if r.fail() {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return errTrailing(len(r.b))
+	}
+	return nil
+}
+
+// --- prepare / commit -----------------------------------------------------
+
+// EnrollRecord is one enrollment as it travels the wire and lives in
+// the router's replay log: the epoch it creates, the class label, and
+// the packed prototype words (the durable unit — dense rows and norms
+// are rederived from the words everywhere, which is what keeps replayed
+// and forwarded enrollments bit-identical).
+type EnrollRecord struct {
+	Epoch uint64
+	Label string
+	Words []uint64
+}
+
+// flipReply is a decoded prepare/commit acknowledgment. OK=false is a
+// clean refusal with Committed reporting the replica's actual epoch,
+// so the router can replay the enrollments the replica missed.
+type flipReply struct {
+	OK        bool
+	Committed uint64
+}
+
+func appendPrepare(buf []byte, reqID uint32, rec *EnrollRecord) []byte {
+	buf = beginFrame(buf, opPrepare, reqID)
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Epoch)
+	buf = appendStr16(buf, rec.Label)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Words)))
+	for _, w := range rec.Words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return endFrame(buf)
+}
+
+//hdc:coldpath enrollment decode runs once per flip, off the query hot path
+func decodePrepare(body []byte) (*EnrollRecord, error) {
+	r := wireReader{b: body}
+	rec := &EnrollRecord{Epoch: r.u64(), Label: r.str16()}
+	nwords := int(r.u32())
+	if nwords < 0 || nwords > MaxFrame/8 {
+		return nil, fmt.Errorf("%w: prepare declares %d words", ErrProtocol, nwords)
+	}
+	rec.Words = make([]uint64, nwords)
+	for i := range rec.Words {
+		rec.Words[i] = r.u64()
+	}
+	if r.fail() {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, errTrailing(len(r.b))
+	}
+	return rec, nil
+}
+
+func appendCommit(buf []byte, reqID uint32, epoch uint64) []byte {
+	buf = beginFrame(buf, opCommit, reqID)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	return endFrame(buf)
+}
+
+//hdc:coldpath enrollment decode runs once per flip, off the query hot path
+func decodeCommit(body []byte) (uint64, error) {
+	r := wireReader{b: body}
+	epoch := r.u64()
+	if r.fail() {
+		return 0, r.err
+	}
+	if len(r.b) != 0 {
+		return 0, errTrailing(len(r.b))
+	}
+	return epoch, nil
+}
+
+func appendFlipOK(buf []byte, op byte, reqID uint32, ok bool, committed uint64) []byte {
+	buf = beginFrame(buf, op, reqID)
+	var okb byte
+	if ok {
+		okb = 1
+	}
+	buf = append(buf, okb)
+	return endFrame(binary.LittleEndian.AppendUint64(buf, committed))
+}
+
+//hdc:coldpath enrollment decode runs once per flip, off the query hot path
+func decodeFlipOK(body []byte, rep *flipReply) error {
+	r := wireReader{b: body}
+	rep.OK = r.u8() != 0
+	rep.Committed = r.u64()
 	if r.fail() {
 		return r.err
 	}

@@ -31,7 +31,7 @@ func TestQueryFrameRoundTripDense(t *testing.T) {
 	for i := range x.Data {
 		x.Data[i] = rng.Float32()*2 - 1
 	}
-	frame, err := appendQuery(nil, 42, 100, 5, infer.RepDense, infer.DenseBatch(x))
+	frame, err := appendQuery(nil, 42, 0, 100, 5, infer.RepDense, infer.DenseBatch(x))
 	if err != nil {
 		t.Fatalf("appendQuery: %v", err)
 	}
@@ -60,7 +60,7 @@ func TestQueryFrameRoundTripPacked(t *testing.T) {
 	for i := range probes {
 		probes[i] = hdc.NewRandomBinary(rng, d)
 	}
-	frame, err := appendQuery(nil, 7, 0, 3, infer.RepPacked, infer.PackedBatch(probes))
+	frame, err := appendQuery(nil, 7, 0, 0, 3, infer.RepPacked, infer.PackedBatch(probes))
 	if err != nil {
 		t.Fatalf("appendQuery: %v", err)
 	}
@@ -171,7 +171,7 @@ func TestReadFrameRejectsOversizedLength(t *testing.T) {
 
 func TestDecodeQueryRejectsTruncatedSlab(t *testing.T) {
 	x := tensor.New(2, 8)
-	frame, err := appendQuery(nil, 1, 0, 1, infer.RepDense, infer.DenseBatch(x))
+	frame, err := appendQuery(nil, 1, 0, 0, 1, infer.RepDense, infer.DenseBatch(x))
 	if err != nil {
 		t.Fatal(err)
 	}

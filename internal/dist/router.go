@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/hdc"
 	"repro/internal/infer"
 	"repro/internal/lat"
 )
@@ -69,6 +70,19 @@ type RouterStats struct {
 	Failovers    uint64 `json:"failovers"`     // attempts that moved to another replica
 	Failed       uint64 `json:"failed"`        // batches that failed on every replica of some shard
 	BreakerSkips uint64 `json:"breaker_skips"` // attempts skipped because the replica was condemned
+	Enrolls      uint64 `json:"enrolls"`       // epoch flips driven to completion
+}
+
+// epochState is the router's published enrollment epoch and everything
+// a query needs to serve consistently at it: the global class count and
+// label table epoch e implies. One atomic pointer load at the top of
+// TryQueryEpoch pins a whole batch to one epoch — every shard leg is
+// tagged with it and the merged ranking is labeled from its table — so
+// a concurrent enroll can never produce a ranking that mixes epochs.
+type epochState struct {
+	epoch   uint64
+	classes int
+	labels  []string
 }
 
 // routerShard is one class-range slab and its replica connection pools
@@ -92,13 +106,27 @@ type routerShard struct {
 // the HTTP layer noticing.
 type Router struct {
 	name    string
-	classes int
+	classes int // layout (base-memory) class count; live count is in est
 	dim     int
 	rep     infer.Representation
-	labels  []string
+	labels  []string // base-memory label table; live table is in est
 	shards  []*routerShard
 	pools   map[string]*replicaPool // shared per address across shards
 	cfg     RouterConfig
+
+	// est is the published enrollment epoch (see epochState). The last
+	// shard range is the growing one; the others are frozen at the
+	// layout geometry.
+	est atomic.Pointer[epochState]
+
+	// emu serializes enrollment flips; enrollLog keeps every record
+	// flipped through this router so a replica that was down for some
+	// epochs can be caught up (prepare+commit replay) before the next
+	// flip. Records from before this router started cannot be replayed —
+	// a replica lagging the adopted startup epoch serves old-epoch reads
+	// but refuses prepares until restarted from an up-to-date WAL.
+	emu       sync.Mutex
+	enrollLog map[uint64]*EnrollRecord
 
 	scratch sync.Pool // *routeScratch
 
@@ -109,6 +137,7 @@ type Router struct {
 	failovers    atomic.Uint64
 	failed       atomic.Uint64
 	breakerSkips atomic.Uint64
+	enrolls      atomic.Uint64
 	rtt          lat.Hist // per-attempt shard round-trip latency
 }
 
@@ -135,12 +164,13 @@ func NewRouter(layout Layout, cfg RouterConfig) (*Router, error) {
 	}
 	cfg = cfg.withDefaults()
 	r := &Router{
-		name:    layout.Model,
-		classes: layout.Classes,
-		dim:     layout.Dim,
-		labels:  make([]string, layout.Classes),
-		pools:   map[string]*replicaPool{},
-		cfg:     cfg,
+		name:      layout.Model,
+		classes:   layout.Classes,
+		dim:       layout.Dim,
+		labels:    make([]string, layout.Classes),
+		pools:     map[string]*replicaPool{},
+		enrollLog: map[uint64]*EnrollRecord{},
+		cfg:       cfg,
 	}
 	r.scratch.New = func() any { return new(routeScratch) }
 	pool := func(addr string) *replicaPool {
@@ -152,17 +182,30 @@ func NewRouter(layout Layout, cfg RouterConfig) (*Router, error) {
 		}
 		return p
 	}
-	for _, spec := range layout.Shards {
+	var enrolled []string
+	for i, spec := range layout.Shards {
 		rs := &routerShard{base: spec.Range[0], classes: spec.Range[1] - spec.Range[0]}
 		for _, addr := range spec.Replicas {
 			rs.pools = append(rs.pools, pool(addr))
 		}
-		// Validate against the first replica that answers; the others are
-		// dialed lazily on demand.
+		grow := i == len(layout.Shards)-1
+		// Frozen ranges validate against the first replica that answers
+		// (the others are dialed lazily on demand). The growing tail
+		// range asks every replica and adopts the highest committed
+		// epoch — replicas restarting from older WALs lag behind and are
+		// served around by failover until they catch up.
 		var info *ShardInfo
 		var err error
 		for _, p := range rs.pools {
-			if info, err = p.info(); err == nil {
+			pi, perr := p.info()
+			if perr != nil {
+				err = perr
+				continue
+			}
+			if info == nil || (grow && pi.Epoch > info.Epoch) {
+				info = pi
+			}
+			if !grow {
 				break
 			}
 		}
@@ -171,21 +214,29 @@ func NewRouter(layout Layout, cfg RouterConfig) (*Router, error) {
 			return nil, fmt.Errorf("%w: range [%d, %d): no replica reachable: %v",
 				ErrShardDown, spec.Range[0], spec.Range[1], err)
 		}
-		if err := r.adoptInfo(spec, info); err != nil {
+		if enrolled, err = r.adoptInfo(spec, info, grow); err != nil {
 			r.Close()
 			return nil, err
 		}
 		r.shards = append(r.shards, rs)
 	}
 	sort.Slice(r.shards, func(a, b int) bool { return r.shards[a].base < r.shards[b].base })
+	st := &epochState{
+		epoch:   uint64(len(enrolled)),
+		classes: layout.Classes + len(enrolled),
+		labels:  append(r.labels[:layout.Classes:layout.Classes], enrolled...),
+	}
+	r.est.Store(st)
 	return r, nil
 }
 
 // adoptInfo checks one shard's handshake against the layout and fills
-// in the router's identity (name, representation) and label table.
-func (r *Router) adoptInfo(spec ShardSpec, info *ShardInfo) error {
+// in the router's identity (name, representation) and label table. For
+// the growing tail range it returns the labels of the classes enrolled
+// beyond the layout geometry (info.Epoch of them).
+func (r *Router) adoptInfo(spec ShardSpec, info *ShardInfo, grow bool) ([]string, error) {
 	if info.Dim != r.dim {
-		return fmt.Errorf("%w: range %v serves d=%d, layout says %d", ErrLayout, spec.Range, info.Dim, r.dim)
+		return nil, fmt.Errorf("%w: range %v serves d=%d, layout says %d", ErrLayout, spec.Range, info.Dim, r.dim)
 	}
 	if r.name == "" {
 		r.name = info.Name
@@ -198,25 +249,43 @@ func (r *Router) adoptInfo(spec ShardSpec, info *ShardInfo) error {
 		}
 	}
 	if slab == nil {
-		return fmt.Errorf("%w: replica for range %v does not serve a slab at base %d", ErrLayout, spec.Range, spec.Range[0])
+		return nil, fmt.Errorf("%w: replica for range %v does not serve a slab at base %d", ErrLayout, spec.Range, spec.Range[0])
 	}
-	if slab.Classes != spec.Range[1]-spec.Range[0] {
-		return fmt.Errorf("%w: range %v slab holds %d classes", ErrLayout, spec.Range, slab.Classes)
+	width := spec.Range[1] - spec.Range[0]
+	want := width
+	if grow {
+		want += int(info.Epoch)
+	}
+	if slab.Classes != want {
+		return nil, fmt.Errorf("%w: range %v slab holds %d classes, want %d (epoch %d)",
+			ErrLayout, spec.Range, slab.Classes, want, info.Epoch)
 	}
 	if len(r.shards) == 0 {
 		r.rep = info.Rep
 	} else if info.Rep != r.rep {
-		return fmt.Errorf("%w: range %v serves representation %v, earlier shards %v", ErrLayout, spec.Range, info.Rep, r.rep)
+		return nil, fmt.Errorf("%w: range %v serves representation %v, earlier shards %v", ErrLayout, spec.Range, info.Rep, r.rep)
 	}
-	copy(r.labels[slab.Base:slab.Base+slab.Classes], slab.Labels)
-	return nil
+	copy(r.labels[slab.Base:slab.Base+width], slab.Labels[:width])
+	if grow {
+		return append([]string(nil), slab.Labels[width:]...), nil
+	}
+	return nil, nil
 }
 
 // Name reports the served backend name (the serve.Querier surface).
 func (r *Router) Name() string { return r.name }
 
-// Classes returns the global class count.
-func (r *Router) Classes() int { return r.classes }
+// Classes returns the global class count at the published epoch.
+func (r *Router) Classes() int { return r.est.Load().classes }
+
+// Epoch returns the published enrollment epoch: every query batch is
+// served consistently at this epoch (the serve layer's epoch tag).
+func (r *Router) Epoch() uint64 { return r.est.Load().epoch }
+
+// EnrolledTotal returns the number of classes enrolled beyond the
+// layout geometry — the router-side analogue of the versioned store's
+// counter, surfaced through /stats.
+func (r *Router) EnrolledTotal() uint64 { return r.est.Load().epoch }
 
 // Dim returns the probe dimensionality.
 func (r *Router) Dim() int { return r.dim }
@@ -228,8 +297,8 @@ func (r *Router) Shards() int { return len(r.shards) }
 // Requires reports the probe representation the shard backends consume.
 func (r *Router) Requires() infer.Representation { return r.rep }
 
-// Label returns the label of global class c.
-func (r *Router) Label(c int) string { return r.labels[c] }
+// Label returns the label of global class c at the published epoch.
+func (r *Router) Label(c int) string { return r.est.Load().labels[c] }
 
 // Stats snapshots the routing counters.
 func (r *Router) Stats() RouterStats {
@@ -239,6 +308,7 @@ func (r *Router) Stats() RouterStats {
 		Failovers:    r.failovers.Load(),
 		Failed:       r.failed.Load(),
 		BreakerSkips: r.breakerSkips.Load(),
+		Enrolls:      r.enrolls.Load(),
 	}
 }
 
@@ -276,27 +346,40 @@ func (r *Router) Query(batch *infer.Batch, k int) []infer.Result {
 //
 //hdc:hotpath
 func (r *Router) TryQuery(batch *infer.Batch, k int) ([]infer.Result, error) {
+	res, _, err := r.TryQueryEpoch(batch, k)
+	return res, err
+}
+
+// TryQueryEpoch is TryQuery returning the enrollment epoch the batch
+// was served at. The epoch is pinned by one atomic load before the
+// scatter, every shard leg carries it, and the returned tag is that
+// same value — a ranking and its epoch can never disagree, even with
+// enrollments flipping concurrently.
+//
+//hdc:hotpath
+func (r *Router) TryQueryEpoch(batch *infer.Batch, k int) ([]infer.Result, uint64, error) {
 	if r.closed.Load() {
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	if err := batch.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	n := batch.Len()
 	if n == 0 {
-		return nil, nil
+		return nil, r.est.Load().epoch, nil
 	}
 	if k <= 0 {
-		return nil, errBadK(k)
+		return nil, 0, errBadK(k)
 	}
 	if !batch.Satisfies(r.rep) {
-		return nil, errRepUnsatisfied(r.rep)
+		return nil, 0, errRepUnsatisfied(r.rep)
 	}
 	if d := batch.Dim(); d != r.dim {
-		return nil, errDimMismatch(d, r.dim)
+		return nil, 0, errDimMismatch(d, r.dim)
 	}
-	if k > r.classes {
-		k = r.classes
+	st := r.est.Load()
+	if k > st.classes {
+		k = st.classes
 	}
 	r.queries.Add(1)
 
@@ -310,7 +393,7 @@ func (r *Router) TryQuery(batch *infer.Batch, k int) ([]infer.Result, error) {
 		wg.Add(1)
 		go func(si, k int) { //hdc:allow hotpathalloc one goroutine and closure per shard per query is the fan-out design
 			defer wg.Done()
-			sc.errs[si] = r.callShard(r.shards[si], batch, k, &sc.replies[si], &sc.bufs[si])
+			sc.errs[si] = r.callShard(r.shards[si], st, si == len(r.shards)-1, batch, k, &sc.replies[si], &sc.bufs[si])
 		}(si, k)
 	}
 	wg.Wait()
@@ -319,7 +402,7 @@ func (r *Router) TryQuery(batch *infer.Batch, k int) ([]infer.Result, error) {
 			r.failed.Add(1)
 			s := r.shards[si]
 			r.scratch.Put(sc)
-			return nil, errRangeDown(s.base, s.classes, err)
+			return nil, 0, errRangeDown(s.base, s.classes, err)
 		}
 	}
 
@@ -348,27 +431,34 @@ func (r *Router) TryQuery(batch *infer.Batch, k int) ([]infer.Result, error) {
 		top := backing[p*k : p*k+kk : (p+1)*k]
 		copy(top, merged[:kk])
 		for i := range top {
-			top[i].Label = r.labels[top[i].Class]
+			top[i].Label = st.labels[top[i].Class]
 		}
 		results[p] = infer.Result{TopK: top}
 	}
 	sc.merged = merged
 	r.scratch.Put(sc)
-	return results, nil
+	return results, st.epoch, nil
 }
 
 // callShard runs one shard range's scatter leg: clamp k to the slab
-// width, then try replicas in preference order until one answers
-// within the timeout or the attempt budget is spent. The reply slot is
-// safe to reuse across attempts because a timed-out attempt kills its
+// width (the growing tail range is st.epoch classes wider than the
+// layout says), then try replicas in preference order until one answers
+// within the timeout or the attempt budget is spent. Every attempt is
+// tagged with the pinned epoch; a replica that has not committed it yet
+// refuses and the next replica is tried. The reply slot is safe to
+// reuse across attempts because a timed-out attempt kills its
 // connection and waits for the reader to acknowledge before returning
 // (see clientConn.roundTrip).
 //
 //hdc:hotpath
-func (r *Router) callShard(s *routerShard, batch *infer.Batch, k int, out *shardReply, buf *[]byte) error {
+func (r *Router) callShard(s *routerShard, st *epochState, grow bool, batch *infer.Batch, k int, out *shardReply, buf *[]byte) error {
+	width := s.classes
+	if grow {
+		width += int(st.epoch)
+	}
 	kk := k
-	if kk > s.classes {
-		kk = s.classes
+	if kk > width {
+		kk = width
 	}
 	out.kStride = kk
 	attempts := r.cfg.Attempts
@@ -398,7 +488,7 @@ func (r *Router) callShard(s *routerShard, batch *infer.Batch, k int, out *shard
 			continue
 		}
 		start := time.Now()
-		b, err := conn.roundTrip(*buf, s.base, kk, r.rep, batch, r.cfg.ShardTimeout, out)
+		b, err := conn.roundTrip(*buf, st.epoch, s.base, kk, r.rep, batch, r.cfg.ShardTimeout, out)
 		r.rtt.Observe(time.Since(start))
 		*buf = b
 		if err == nil {
@@ -413,6 +503,147 @@ func (r *Router) callShard(s *routerShard, batch *infer.Batch, k int, out *shard
 		lastErr = err
 	}
 	return lastErr
+}
+
+// Enroll drives one class enrollment through the two-phase epoch flip
+// and returns the epoch at which the class is queryable cluster-wide.
+//
+// Phase 1 prepares epoch published+1 on every admissible replica of
+// the growing tail range: each acked prepare is WAL-durable on its
+// replica before the ack. A replica whose committed epoch lags (it was
+// down for earlier flips) is first caught up by replaying the missed
+// records from the router's enroll log. Phase 2 commits on the
+// prepared replicas; the first commit ack makes the enrollment
+// queryable somewhere, and only then does the router publish the new
+// epoch — queries tagged with it fail over until they land on a
+// committed replica, so a ranking can never show a class no shard
+// serves.
+//
+// The epoch number is the idempotent enroll request ID end to end:
+// replicas ack duplicate prepares/commits of the same content cleanly
+// and reject the same epoch with different content, so a crashed and
+// retried flip can never double-enroll (see classmem.Prepare).
+func (r *Router) Enroll(label string, proto *hdc.Binary) (uint64, error) {
+	if r.closed.Load() {
+		return 0, ErrClosed
+	}
+	if proto.Dim() != r.dim {
+		return 0, fmt.Errorf("%w: enroll dim %d, distributed class memory expects %d", infer.ErrBadQuery, proto.Dim(), r.dim)
+	}
+	r.emu.Lock()
+	defer r.emu.Unlock()
+	st := r.est.Load()
+	s := r.shards[len(r.shards)-1]
+	rec := &EnrollRecord{
+		Epoch: st.epoch + 1,
+		Label: label,
+		Words: append([]uint64(nil), proto.Words()...),
+	}
+	r.enrollLog[rec.Epoch] = rec
+
+	var prepared []*replicaPool
+	var lastErr error
+	for _, p := range s.pools {
+		if !p.brk.allow() {
+			r.breakerSkips.Add(1)
+			continue
+		}
+		if err := r.prepareReplica(p, rec); err != nil {
+			p.brk.failure()
+			lastErr = err
+			continue
+		}
+		p.brk.success()
+		prepared = append(prepared, p)
+	}
+	if len(prepared) == 0 {
+		delete(r.enrollLog, rec.Epoch)
+		return 0, fmt.Errorf("%w: enroll %q at epoch %d: no replica prepared: %v", ErrShardDown, label, rec.Epoch, lastErr)
+	}
+	committed := 0
+	for _, p := range prepared {
+		if err := r.flipOne(p, rec, true); err != nil {
+			p.brk.failure()
+			lastErr = err
+			continue
+		}
+		committed++
+	}
+	if committed == 0 {
+		// The enrollment is staged (WAL-durable) but published nowhere;
+		// the record stays in the log so the next flip re-drives it as
+		// catch-up before preparing its own epoch.
+		return 0, fmt.Errorf("%w: enroll %q at epoch %d: prepared on %d replicas but no commit acked: %v",
+			ErrShardDown, label, rec.Epoch, len(prepared), lastErr)
+	}
+	labels := append(st.labels[:st.classes:st.classes], label)
+	r.est.Store(&epochState{epoch: rec.Epoch, classes: st.classes + 1, labels: labels})
+	r.enrolls.Add(1)
+	return rec.Epoch, nil
+}
+
+// prepareReplica stages rec on one replica, replaying any flips the
+// replica missed (clean ok=0 refusals carry its committed epoch) from
+// the enroll log first. Replicas lagging past the log's reach — flips
+// from before this router instance — cannot be caught up here and stay
+// read-only at their old epoch.
+func (r *Router) prepareReplica(p *replicaPool, rec *EnrollRecord) error {
+	rep, err := r.flipReply(p, rec, false)
+	if err != nil {
+		return err
+	}
+	if rep.OK {
+		return nil
+	}
+	// Gap: replay committed+1 .. rec.Epoch-1, then retry the prepare.
+	for e := rep.Committed + 1; e < rec.Epoch; e++ {
+		old, ok := r.enrollLog[e]
+		if !ok {
+			return fmt.Errorf("%w: replica %s is at epoch %d and the flip log starts after it", ErrShardDown, p.addr, rep.Committed)
+		}
+		if pr, err := r.flipReply(p, old, false); err != nil {
+			return err
+		} else if !pr.OK {
+			return fmt.Errorf("%w: replica %s refused catch-up prepare of epoch %d (at %d)", ErrShardDown, p.addr, e, pr.Committed)
+		}
+		if err := r.flipOne(p, old, true); err != nil {
+			return err
+		}
+	}
+	rep, err = r.flipReply(p, rec, false)
+	if err != nil {
+		return err
+	}
+	if !rep.OK {
+		return fmt.Errorf("%w: replica %s refused prepare of epoch %d after catch-up (at %d)", ErrShardDown, p.addr, rec.Epoch, rep.Committed)
+	}
+	return nil
+}
+
+// flipOne sends one prepare or commit and requires a positive ack.
+func (r *Router) flipOne(p *replicaPool, rec *EnrollRecord, commit bool) error {
+	rep, err := r.flipReply(p, rec, commit)
+	if err != nil {
+		return err
+	}
+	if !rep.OK {
+		verb := "prepare"
+		if commit {
+			verb = "commit"
+		}
+		return fmt.Errorf("%w: replica %s refused %s of epoch %d (at %d)", ErrShardDown, p.addr, verb, rec.Epoch, rep.Committed)
+	}
+	return nil
+}
+
+// flipReply runs one prepare/commit round trip on a pooled connection.
+func (r *Router) flipReply(p *replicaPool, rec *EnrollRecord, commit bool) (flipReply, error) {
+	conn, err := p.get()
+	if err != nil {
+		return flipReply{}, err
+	}
+	r.shardCalls.Add(1)
+	return conn.flipTrip(rec, commit, r.cfg.ShardTimeout)
 }
 
 // ensure sizes the per-shard scratch slots.

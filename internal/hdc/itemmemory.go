@@ -43,6 +43,35 @@ func (m *ItemMemory) Store(label string, v *Binary) {
 	m.flat = append(m.flat, v.words...)
 }
 
+// ItemMemoryFromSlab constructs an item memory as a view over an
+// externally owned word slab: labels[i] names the wpv words at
+// flat[i*wpv:(i+1)*wpv]. Nothing is copied — the caller promises the
+// viewed prefix is immutable for the lifetime of the view. This is the
+// RCU seam of the live-enrollment path (internal/classmem): the
+// versioned store appends new prototypes past every published prefix
+// and publishes each epoch as a fresh zero-copy view over the shared
+// backing, so readers on older epochs keep scanning the exact bytes
+// they started with.
+func ItemMemoryFromSlab(d int, labels []string, flat []uint64) *ItemMemory {
+	if d <= 0 {
+		panic(fmt.Sprintf("hdc.ItemMemoryFromSlab: non-positive dimension %d", d))
+	}
+	wpv := (d + 63) / 64
+	if len(flat) != len(labels)*wpv {
+		panic(fmt.Sprintf("hdc.ItemMemoryFromSlab: slab has %d words, want %d labels × %d words/vector", len(flat), len(labels), wpv))
+	}
+	return &ItemMemory{labels: labels, flat: flat, dim: d, wpv: wpv}
+}
+
+// Slab exposes the backing word slab (row-major, WordsPerVector words
+// per item). Callers must treat the returned slice as read-only; it is
+// how the versioned class memory seeds its growable backing from a
+// frozen Build without re-encoding.
+func (m *ItemMemory) Slab() []uint64 { return m.flat }
+
+// WordsPerVector returns the packed row stride in 64-bit words.
+func (m *ItemMemory) WordsPerVector() int { return m.wpv }
+
 // Len returns the number of stored items.
 func (m *ItemMemory) Len() int { return len(m.labels) }
 

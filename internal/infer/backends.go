@@ -74,6 +74,53 @@ func NewFloatBackend(phi *tensor.Tensor, labels []string, k float32) *FloatBacke
 	}
 }
 
+// NewFloatBackendView wraps phi with caller-computed row norms instead
+// of recomputing them — the incremental path of the versioned class
+// memory, which appends one norm per enrolled row rather than
+// renormalizing every epoch. prev, when non-nil, must be the backend of
+// an earlier epoch viewing a row prefix of the same backing slab: its
+// packed ϕᵀ tiles for ranges that lie entirely inside that prefix are
+// still byte-valid (rows are immutable once published) and are carried
+// into the new backend's cache, along with all shape-keyed logits
+// pools, so an epoch flip re-packs only ranges that gained rows.
+func NewFloatBackendView(phi, norms *tensor.Tensor, labels []string, k float32, prev *FloatBackend) *FloatBackend {
+	if phi.Rank() != 2 {
+		panic(fmt.Sprintf("infer.NewFloatBackendView: want rank-2 phi, have %v", phi.Shape()))
+	}
+	if k <= 0 {
+		panic("infer.NewFloatBackendView: temperature must be positive")
+	}
+	if len(norms.Data) != phi.Dim(0) {
+		panic(fmt.Sprintf("infer.NewFloatBackendView: %d norms for %d rows", len(norms.Data), phi.Dim(0)))
+	}
+	b := &FloatBackend{
+		phi:    phi,
+		norms:  norms,
+		labels: checkLabels(labels, phi.Dim(0), "NewFloatBackendView"),
+		k:      k,
+	}
+	if prev != nil && prev.Dim() == phi.Dim(1) && prev.k == k {
+		if pc := prev.caches.Load(); pc != nil {
+			carried := &floatCaches{
+				packs:    make(map[[2]int]*tensor.PackedB, len(pc.packs)),
+				dstPools: make(map[[2]int]*sync.Pool, len(pc.dstPools)),
+			}
+			//hdc:allow determinism copy-on-write into a fresh map; key order does not affect the published caches
+			for key, pb := range pc.packs {
+				if key[1] <= prev.Classes() {
+					carried.packs[key] = pb
+				}
+			}
+			//hdc:allow determinism copy-on-write into a fresh map; key order does not affect the published caches
+			for key, pool := range pc.dstPools {
+				carried.dstPools[key] = pool
+			}
+			b.caches.Store(carried)
+		}
+	}
+	return b
+}
+
 func (b *FloatBackend) Name() string       { return "float" }
 func (b *FloatBackend) Classes() int       { return b.phi.Dim(0) }
 func (b *FloatBackend) Dim() int           { return b.phi.Dim(1) }

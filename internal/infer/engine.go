@@ -19,6 +19,7 @@ import (
 type Engine struct {
 	backend Backend
 	workers int
+	epoch   uint64
 	ranges  [][2]int
 	pool    sync.Pool // *queryScratch, one per in-flight Query
 }
@@ -81,6 +82,16 @@ type Option func(*Engine)
 // runtime.NumCPU(), capped at the class count).
 func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
+}
+
+// WithEpoch stamps the engine with the class-memory epoch it was built
+// from (classmem.Versioned publishes epoch e as the base memory plus e
+// enrolled classes). The engine itself is immutable either way; the
+// stamp is how the serving layer tags each ranking with the memory
+// version that produced it, the exact analogue of Param.Version keying
+// packed weight panels.
+func WithEpoch(e uint64) Option {
+	return func(eng *Engine) { eng.epoch = e }
 }
 
 // New builds an engine over backend. The class memory is split into
@@ -158,6 +169,13 @@ func (e *Engine) Backend() Backend { return e.backend }
 
 // Workers returns the number of shard workers.
 func (e *Engine) Workers() int { return e.workers }
+
+// Epoch returns the class-memory epoch the engine was built from (0 for
+// a frozen memory never enrolled into). Both *Engine and the
+// distributed router satisfy `interface{ Epoch() uint64 }`, which is
+// how the serving layer reads the tag without widening the Querier
+// seam.
+func (e *Engine) Epoch() uint64 { return e.epoch }
 
 // Name, Classes, and Dim delegate to the backend, so an *Engine
 // satisfies the same descriptive surface a distributed router exposes

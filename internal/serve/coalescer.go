@@ -36,8 +36,9 @@ type request struct {
 }
 
 type reply struct {
-	res infer.Result
-	err error
+	res   infer.Result
+	epoch uint64 // class-memory epoch of the querier that served the batch
+	err   error
 }
 
 // querierBox wraps the swappable querier behind one pointer so a hot
@@ -122,7 +123,10 @@ func (c *Coalescer) Querier() Querier { return c.cur.Load().q }
 // consume the same probe representation at the same dimensionality
 // (admission normalized every queued probe to that geometry already);
 // anything else returns ErrIncompatibleSwap and leaves the old querier
-// serving. The class count may differ — that is live enrollment.
+// serving. The class count may grow but never shrink: monotonic growth
+// is exactly a live-enrollment epoch publish flowing through the swap
+// seam, while a shrink would dangle class indices that in-flight
+// responses and caches already reference.
 func (c *Coalescer) SwapQuerier(q Querier) error {
 	if q.Dim() != c.dim {
 		return fmt.Errorf("%w: new querier has d=%d, coalescer admits d=%d",
@@ -131,6 +135,10 @@ func (c *Coalescer) SwapQuerier(q Querier) error {
 	if q.Requires() != c.needs {
 		return fmt.Errorf("%w: new querier consumes representation %v, coalescer admits %v",
 			ErrIncompatibleSwap, q.Requires(), c.needs)
+	}
+	if have := c.cur.Load().q.Classes(); q.Classes() < have {
+		return fmt.Errorf("%w: new querier has %d classes, coalescer serves %d (class count may only grow)",
+			ErrIncompatibleSwap, q.Classes(), have)
 	}
 	c.cur.Store(&querierBox{q: q})
 	return nil
@@ -149,13 +157,39 @@ func (c *Coalescer) Config() Config { return c.cfg }
 // Under overload (Config.Watermark exceeded) Classify fails fast with
 // ErrOverloaded instead of queuing.
 func (c *Coalescer) Classify(ctx context.Context, p Probe, k int) (infer.Result, error) {
+	res, _, err := c.ClassifyEpoch(ctx, p, k)
+	return res, err
+}
+
+// Epoch reports the class-memory epoch of the querier currently behind
+// the coalescer (0 when the querier predates live enrollment). The
+// /stats path reads it; response tagging reads the per-batch value
+// instead, from the same querier box that served the batch.
+func (c *Coalescer) Epoch() uint64 { return queryEpoch(c.cur.Load().q) }
+
+// queryEpoch extracts the optional epoch stamp from a querier — both
+// *infer.Engine and *dist.Router carry one; anything else reports the
+// frozen epoch 0.
+func queryEpoch(q Querier) uint64 {
+	if e, ok := q.(interface{ Epoch() uint64 }); ok {
+		return e.Epoch()
+	}
+	return 0
+}
+
+// ClassifyEpoch is Classify also reporting the class-memory epoch that
+// served the probe. The epoch is read from the same atomically loaded
+// querier box that executed the batch, so the tag can never mix with a
+// ranking from a different epoch — the contract the distributed chaos
+// test checks byte-for-byte against a per-epoch oracle.
+func (c *Coalescer) ClassifyEpoch(ctx context.Context, p Probe, k int) (infer.Result, uint64, error) {
 	if k < 1 {
 		k = 1
 	}
 	r := &request{dense: p.Dense, packed: p.Packed, k: k, ctx: ctx, out: make(chan reply, 1)}
 	if err := c.admitProbe(r); err != nil {
 		c.rejected.Add(1)
-		return infer.Result{}, err
+		return infer.Result{}, 0, err
 	}
 
 	// Load shedding: bound the admission queue depth. The increment is
@@ -167,7 +201,7 @@ func (c *Coalescer) Classify(ctx context.Context, p Probe, k int) (infer.Result,
 		if c.depth.Add(1) > int64(c.cfg.Watermark) {
 			c.depth.Add(-1)
 			c.shed.Add(1)
-			return infer.Result{}, ErrOverloaded
+			return infer.Result{}, 0, ErrOverloaded
 		}
 	} else {
 		c.depth.Add(1)
@@ -180,7 +214,7 @@ func (c *Coalescer) Classify(ctx context.Context, p Probe, k int) (infer.Result,
 		c.mu.RUnlock()
 		c.depth.Add(-1)
 		c.rejected.Add(1)
-		return infer.Result{}, ErrClosed
+		return infer.Result{}, 0, ErrClosed
 	}
 	select {
 	case c.reqs <- r:
@@ -189,18 +223,18 @@ func (c *Coalescer) Classify(ctx context.Context, p Probe, k int) (infer.Result,
 		c.mu.RUnlock()
 		c.depth.Add(-1)
 		c.rejected.Add(1)
-		return infer.Result{}, ctx.Err()
+		return infer.Result{}, 0, ctx.Err()
 	}
 	c.requests.Add(1)
 
 	select {
 	case rep := <-r.out:
-		return rep.res, rep.err
+		return rep.res, rep.epoch, rep.err
 	case <-ctx.Done():
 		// The flusher delivers into the buffered channel (or drops the
 		// request at drain time, now that it can see ctx is done); either
 		// way the reply is simply discarded.
-		return infer.Result{}, ctx.Err()
+		return infer.Result{}, 0, ctx.Err()
 	}
 }
 
@@ -488,8 +522,25 @@ func (c *Coalescer) execute(batch []*request) {
 		eb = infer.DenseBatch(dense)
 	}
 
+	// One atomic load serves the whole batch: the ranking and its epoch
+	// tag always come from the same querier box, even mid-swap. Queriers
+	// whose epoch can advance underneath a published instance (the dist
+	// router enrolls live) return the epoch with the ranking, pinned to
+	// the same class-memory state; for the rest (engines are built at a
+	// fixed epoch) reading the stamp after the query cannot race.
+	box := c.cur.Load()
 	start := time.Now()
-	results, err := c.cur.Load().q.TryQuery(eb, kmax)
+	var results []infer.Result
+	var epoch uint64
+	var err error
+	if eq, ok := box.q.(interface {
+		TryQueryEpoch(*infer.Batch, int) ([]infer.Result, uint64, error)
+	}); ok {
+		results, epoch, err = eq.TryQueryEpoch(eb, kmax)
+	} else {
+		results, err = box.q.TryQuery(eb, kmax)
+		epoch = queryEpoch(box.q)
+	}
 	c.readout.Observe(time.Since(start))
 	// The querier reads the batch synchronously and result storage is
 	// fresh (TryQuery), so the assembly buffers are reusable as soon as
@@ -506,7 +557,7 @@ func (c *Coalescer) execute(batch []*request) {
 		if r.k < len(top) {
 			top = top[:r.k]
 		}
-		r.out <- reply{res: infer.Result{TopK: top}}
+		r.out <- reply{res: infer.Result{TopK: top}, epoch: epoch}
 	}
 }
 

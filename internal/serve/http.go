@@ -45,10 +45,43 @@ type ClassifyHit struct {
 	Score float64 `json:"score"`
 }
 
-// ClassifyResponse is the POST /v1/classify reply.
+// ClassifyResponse is the POST /v1/classify reply. Epoch tags the
+// ranking with the class-memory version that produced it: a client
+// (or the chaos oracle) replaying the probe against the base memory
+// plus the first Epoch enrollments reproduces the ranking byte for
+// byte. 0 is the frozen pre-enrollment memory.
 type ClassifyResponse struct {
 	Model string        `json:"model"`
+	Epoch uint64        `json:"epoch,omitempty"`
 	TopK  []ClassifyHit `json:"topk"`
+}
+
+// EnrollRequest is the POST /v1/enroll body: one new class, given
+// either as a ready prototype vector (component signs are taken — the
+// bipolar representation) or as example vectors bundled server-side by
+// the majority rule. Enrollment is store-wide: every registered model
+// over the shared class memory observes the new class at the returned
+// epoch.
+type EnrollRequest struct {
+	// Label names the new class; required.
+	Label string `json:"label"`
+	// Vector is the class prototype (length = memory dimensionality).
+	// Exactly one of Vector and Examples must be set.
+	Vector []float32 `json:"vector,omitempty"`
+	// Examples are bundled into the prototype by the majority rule.
+	Examples [][]float32 `json:"examples,omitempty"`
+	// Seed drives the bundling tie-break when Examples is set (an even
+	// example count can tie componentwise); the same request bits must
+	// yield the same prototype bits everywhere.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// EnrollResponse is the POST /v1/enroll reply: the epoch at which the
+// new class became queryable. Rankings tagged with an epoch ≥ this one
+// include the class.
+type EnrollResponse struct {
+	Label string `json:"label"`
+	Epoch uint64 `json:"epoch"`
 }
 
 // EmbedClassifyRequest is the POST /v1/embed-classify body: a raw
@@ -72,10 +105,13 @@ type EmbedClassifyRequest struct {
 	Input []float32 `json:"input"`
 }
 
-// EmbedClassifyResponse is the POST /v1/embed-classify reply.
+// EmbedClassifyResponse is the POST /v1/embed-classify reply. Epoch is
+// the class-memory version that served the ranking (see
+// ClassifyResponse).
 type EmbedClassifyResponse struct {
 	Model    string        `json:"model"`
 	Embedder string        `json:"embedder"`
+	Epoch    uint64        `json:"epoch,omitempty"`
 	TopK     []ClassifyHit `json:"topk"`
 }
 
@@ -92,16 +128,24 @@ type healthResponse struct {
 // QuerierLat carries any named latency histograms the querier itself
 // exports (the distributed router reports its shard round-trip times
 // as "shard_rtt").
+// Epoch, EnrolledTotal, and WALBytes surface live enrollment: the
+// published class-memory epoch, classes enrolled beyond the frozen
+// base, and the enrollment WAL's on-disk size (the operator's
+// compaction gauge) — read through optional interface assertions on
+// the querier, so frozen deployments simply omit them.
 type modelStats struct {
-	Backend    string                  `json:"backend"`
-	Classes    int                     `json:"classes"`
-	Dim        int                     `json:"dim"`
-	Workers    int                     `json:"workers,omitempty"`
-	Shards     int                     `json:"shards,omitempty"`
-	MaxBatch   int                     `json:"max_batch"`
-	MaxDelay   string                  `json:"max_delay"`
-	Watermark  int                     `json:"watermark,omitempty"`
-	QuerierLat map[string]lat.Snapshot `json:"querier_lat,omitempty"`
+	Backend       string                  `json:"backend"`
+	Classes       int                     `json:"classes"`
+	Dim           int                     `json:"dim"`
+	Workers       int                     `json:"workers,omitempty"`
+	Shards        int                     `json:"shards,omitempty"`
+	Epoch         uint64                  `json:"epoch,omitempty"`
+	EnrolledTotal uint64                  `json:"enrolled_total,omitempty"`
+	WALBytes      int64                   `json:"wal_bytes,omitempty"`
+	MaxBatch      int                     `json:"max_batch"`
+	MaxDelay      string                  `json:"max_delay"`
+	Watermark     int                     `json:"watermark,omitempty"`
+	QuerierLat    map[string]lat.Snapshot `json:"querier_lat,omitempty"`
 	Stats
 }
 
@@ -137,6 +181,12 @@ type Hooks struct {
 	// new class memory) and returns when the swap is published. nil
 	// disables POST /v1/reload (501).
 	Reload func() error
+	// Enroll adds one class to the live class memory and returns the
+	// epoch at which it became queryable (durable before visible when
+	// the deployment has a WAL). The serve layer has validated shape
+	// basics; the hook owns dimensionality and bundling. nil disables
+	// POST /v1/enroll (501).
+	Enroll func(ctx context.Context, req EnrollRequest) (uint64, error)
 }
 
 // embedTimers aggregates per-embedder embed-stage latency. Keyed by
@@ -173,6 +223,7 @@ func (et *embedTimers) snapshot(name string) *lat.Snapshot {
 //
 //	POST /v1/classify        — classify one embedding against a named model
 //	POST /v1/embed-classify  — embed one raw input, then classify it
+//	POST /v1/enroll          — add one class live (wired via Hooks.Enroll)
 //	POST /v1/reload          — hot-swap model state (wired via Hooks.Reload)
 //	GET  /healthz            — liveness plus registered model/embedder names
 //	GET  /readyz             — readiness: 503 during startup and drain
@@ -201,15 +252,41 @@ func NewHandler(reg *Registry, hookList ...Hooks) http.Handler {
 			httpError(w, http.StatusNotFound, err.Error())
 			return
 		}
-		res, err := co.Classify(r.Context(), Probe{Dense: req.Embedding}, req.K)
+		res, epoch, err := co.ClassifyEpoch(r.Context(), Probe{Dense: req.Embedding}, req.K)
 		if err != nil {
 			classifyError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, ClassifyResponse{
 			Model: co.Querier().Name(),
+			Epoch: epoch,
 			TopK:  toHits(res.TopK),
 		})
+	})
+	mux.HandleFunc("POST /v1/enroll", func(w http.ResponseWriter, r *http.Request) {
+		if hooks.Enroll == nil {
+			httpError(w, http.StatusNotImplemented, "this deployment has no enroll hook")
+			return
+		}
+		var req EnrollRequest
+		if !decodeJSON(w, r, maxEmbedBody, &req) {
+			return
+		}
+		if req.Label == "" {
+			httpError(w, http.StatusBadRequest, ErrBadInput.Error()+": enroll label must be non-empty")
+			return
+		}
+		if (len(req.Vector) == 0) == (len(req.Examples) == 0) {
+			httpError(w, http.StatusBadRequest,
+				ErrBadInput.Error()+": exactly one of vector and examples must be set")
+			return
+		}
+		epoch, err := hooks.Enroll(r.Context(), req)
+		if err != nil {
+			enrollError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, EnrollResponse{Label: req.Label, Epoch: epoch})
 	})
 	mux.HandleFunc("POST /v1/embed-classify", func(w http.ResponseWriter, r *http.Request) {
 		var req EmbedClassifyRequest
@@ -261,7 +338,7 @@ func NewHandler(reg *Registry, hookList ...Hooks) http.Handler {
 			httpError(w, code, err.Error())
 			return
 		}
-		res, err := co.Classify(r.Context(), Probe{Dense: probe.Row(0)}, req.K)
+		res, epoch, err := co.ClassifyEpoch(r.Context(), Probe{Dense: probe.Row(0)}, req.K)
 		if err != nil {
 			classifyError(w, err)
 			return
@@ -269,6 +346,7 @@ func NewHandler(reg *Registry, hookList ...Hooks) http.Handler {
 		writeJSON(w, http.StatusOK, EmbedClassifyResponse{
 			Model:    co.Querier().Name(),
 			Embedder: emb.Name(),
+			Epoch:    epoch,
 			TopK:     toHits(res.TopK),
 		})
 	})
@@ -327,6 +405,15 @@ func NewHandler(reg *Registry, hookList ...Hooks) http.Handler {
 				LatencySnapshots() map[string]lat.Snapshot
 			}); ok {
 				ms.QuerierLat = ls.LatencySnapshots()
+			}
+			if e, ok := q.(interface{ Epoch() uint64 }); ok {
+				ms.Epoch = e.Epoch()
+			}
+			if e, ok := q.(interface{ EnrolledTotal() uint64 }); ok {
+				ms.EnrolledTotal = e.EnrolledTotal()
+			}
+			if wb, ok := q.(interface{ WALBytes() int64 }); ok {
+				ms.WALBytes = wb.WALBytes()
 			}
 			out.Models[name] = ms
 		}
@@ -393,6 +480,24 @@ func classifyError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		httpError(w, statusClientClosedRequest, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// enrollError maps Hooks.Enroll errors onto status codes. Geometry and
+// label problems are the caller's fault (400); an unavailable store —
+// the distributed router could not reach any replica of the owning
+// range, or a flip is already in flight elsewhere — is 503 so the
+// client retries against a healed cluster.
+func enrollError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBadInput), errors.Is(err, ErrBadProbe):
+		httpError(w, http.StatusBadRequest, err.Error())
 	case errors.Is(err, ErrClosed):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):

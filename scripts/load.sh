@@ -20,6 +20,10 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_load.json}"
 rate="${RATE:-500}"
 duration="${DURATION:-5s}"
+# A small live-enrollment fraction rides along by default, so the
+# tracked latency numbers always include epoch flips happening under
+# traffic (set ENROLL_FRAC=0 for a frozen-memory run).
+enroll_frac="${ENROLL_FRAC:-0.002}"
 
 tmp="$(mktemp -d)"
 pid=""
@@ -55,5 +59,6 @@ if [ -z "$addr" ]; then
   exit 1
 fi
 
-"$tmp/hdcload" -addr "$addr" -model binary -rate "$rate" -duration "$duration" -out "$out"
+"$tmp/hdcload" -addr "$addr" -model binary -rate "$rate" -duration "$duration" \
+  -enroll-frac "$enroll_frac" -out "$out"
 echo "wrote $out"
